@@ -1,0 +1,213 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (scaled to one reduced trial per iteration; use cmd/surfnetsim and
+// cmd/decoderbench for full-scale runs), plus micro-benchmarks of each core
+// algorithm: the three decoders, the blossom matcher, the routing LP, and
+// the execution engine.
+package surfnet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"surfnet"
+	"surfnet/internal/decoder"
+	"surfnet/internal/matching"
+	"surfnet/internal/rng"
+	"surfnet/internal/surfacecode"
+)
+
+// benchExperiments returns a one-trial experiment configuration sized for a
+// single benchmark iteration.
+func benchExperiments(seed uint64) surfnet.ExperimentConfig {
+	cfg := surfnet.DefaultExperiments()
+	cfg.Trials = 1
+	cfg.Requests = 4
+	cfg.MaxMessages = 2
+	cfg.Seed = seed
+	return cfg
+}
+
+// BenchmarkFig6aTable regenerates the Fig. 6(a) Raw-vs-SurfNet table
+// (throughput, latency, fidelity across the three facility scenarios).
+func BenchmarkFig6aTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := surfnet.Fig6a(benchExperiments(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig6b1 regenerates the capacity sweep of Fig. 6(b.1).
+func BenchmarkFig6b1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := surfnet.Fig6b1(benchExperiments(uint64(i+1)), []float64{0.5, 1, 1.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6b2 regenerates the entanglement-rate sweep of Fig. 6(b.2).
+func BenchmarkFig6b2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := surfnet.Fig6b2(benchExperiments(uint64(i+1)), []float64{0.5, 1, 1.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6b3 regenerates the messages-per-request sweep of Fig. 6(b.3).
+func BenchmarkFig6b3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := surfnet.Fig6b3(benchExperiments(uint64(i+1)), []int{1, 3, 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6b4 regenerates the fidelity-threshold sweep of Fig. 6(b.4).
+func BenchmarkFig6b4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := surfnet.Fig6b4(benchExperiments(uint64(i+1)), []float64{0.6, 1, 1.6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the five-design fidelity comparison of Fig. 7.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := surfnet.Fig7(benchExperiments(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 20 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates a reduced Fig. 8 threshold grid (both decoders,
+// two distances, three Pauli rates, 5 trials per point per iteration).
+func BenchmarkFig8(b *testing.B) {
+	cfg := surfnet.DefaultFig8()
+	cfg.Trials = 5
+	cfg.Distances = []int{9, 13}
+	cfg.PauliRates = []float64{0.06, 0.07, 0.08}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := surfnet.Fig8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// decodeOnce samples one Fig. 8-style error and decodes it with dec.
+func decodeOnce(b *testing.B, code *surfacecode.Code, dec decoder.Decoder, src *rng.Source,
+	nm *surfacecode.NoiseModel, probs []float64) {
+	b.Helper()
+	frame, erased := nm.Sample(src)
+	if _, err := decoder.DecodeFrame(code, dec, frame, erased, probs); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchDecoder runs one decoder across the paper's distances at the Fig. 8
+// operating point (p = 7%, erasure 15%).
+func benchDecoder(b *testing.B, dec decoder.Decoder) {
+	b.Helper()
+	for _, d := range []int{9, 11, 13, 15} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			code := surfacecode.MustNew(d, surfacecode.CoreLShape)
+			nm := surfacecode.UniformNoise(code, 0.07, 0.15)
+			probs := nm.EdgeErrorProb()
+			src := rng.New(99)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				decodeOnce(b, code, dec, src, nm, probs)
+			}
+		})
+	}
+}
+
+// BenchmarkSurfNetDecoder measures Algorithm 2 (Theorem 2's near-linear
+// scaling shows in the per-distance growth).
+func BenchmarkSurfNetDecoder(b *testing.B) { benchDecoder(b, decoder.SurfNet{}) }
+
+// BenchmarkUnionFindDecoder measures the Union-Find baseline.
+func BenchmarkUnionFindDecoder(b *testing.B) { benchDecoder(b, decoder.UnionFind{}) }
+
+// BenchmarkMWPMDecoder measures the modified MWPM decoder (Algorithm 1 /
+// Theorem 1).
+func BenchmarkMWPMDecoder(b *testing.B) { benchDecoder(b, decoder.MWPM{}) }
+
+// BenchmarkBlossom measures the exact minimum-weight perfect matcher on
+// random complete graphs of the sizes the MWPM decoder produces.
+func BenchmarkBlossom(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := rng.New(7)
+			var edges []matching.Edge
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					edges = append(edges, matching.Edge{U: u, V: v, Weight: src.Range(0.1, 10)})
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := matching.MinWeightPerfect(n, edges); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleLP measures one LP-relaxation scheduling round on a
+// paper-scale network (Corollary 1.1 context: the offline stage's cost).
+func BenchmarkScheduleLP(b *testing.B) {
+	src := surfnet.NewRand(5)
+	net, err := surfnet.GenerateNetwork(surfnet.DefaultTopology(surfnet.Sufficient, surfnet.GoodConnection), src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := surfnet.GenRequests(net, 6, 3, src.Split("reqs"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := surfnet.DefaultRouting(surfnet.DesignSurfNet)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := surfnet.ScheduleRoutes(net, reqs, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteEngine measures the online execution of one scheduled
+// batch through the slot-level engine.
+func BenchmarkExecuteEngine(b *testing.B) {
+	src := surfnet.NewRand(6)
+	net, err := surfnet.GenerateNetwork(surfnet.DefaultTopology(surfnet.Sufficient, surfnet.GoodConnection), src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := surfnet.GenRequests(net, 6, 3, src.Split("reqs"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := surfnet.ScheduleRoutes(net, reqs, surfnet.DefaultRouting(surfnet.DesignSurfNet))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := surfnet.DefaultEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := surfnet.Execute(net, sched, cfg, src.SplitN("run", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

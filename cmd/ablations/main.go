@@ -1,0 +1,105 @@
+// Command ablations runs the ablation studies of the design choices the
+// paper calls out: QoS-adaptive code sizes, the SurfNet Decoder step size,
+// the Core geometry, the erasure growth mode, and the wait-for-complete
+// trade-off of §V-B.
+//
+// Usage:
+//
+//	ablations [-study adaptive|stepsize|corelayout|erasure|wait|all] [-trials N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"surfnet/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	study := flag.String("study", "all", "study to run: adaptive, stepsize, corelayout, erasure, scheduler, wait, or all")
+	trials := flag.Int("trials", 2000, "Monte-Carlo trials per decoder point / networks per cell (scaled down x100 for network studies)")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	flag.Parse()
+
+	netCfg := experiments.DefaultConfig()
+	netCfg.Seed = *seed
+	netCfg.Trials = max(2, *trials/100)
+	netCfg.Requests = 6
+
+	runStudy := func(name string) error {
+		switch name {
+		case "adaptive":
+			rows, err := experiments.AdaptiveStudy(netCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Adaptive code sizing (insufficient facilities):")
+			fmt.Print(experiments.FormatAblation(rows))
+		case "stepsize":
+			pts, err := experiments.StepSizeStudy(*seed, *trials, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println("SurfNet Decoder step size r (d=11, p=7%, erasure 15%):")
+			fmt.Print(experiments.FormatDecoderPoints(pts))
+		case "corelayout":
+			byLayout, err := experiments.CoreLayoutStudy(*seed, *trials)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Core geometry (d=11, p=7%, erasure 15%):")
+			for layout, pts := range byLayout {
+				fmt.Printf("layout: %s\n%s", layout, experiments.FormatDecoderPoints(pts))
+			}
+		case "erasure":
+			pts, err := experiments.ErasureGrowthStudy(*seed, *trials)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Erasure handling in the SurfNet Decoder (d=11, p=7%, erasure 15%):")
+			fmt.Print(experiments.FormatDecoderPoints(pts))
+		case "scheduler":
+			rows, err := experiments.SchedulerStudy(netCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Scheduler: LP relaxation + rounding vs greedy (sufficient facilities):")
+			fmt.Print(experiments.FormatAblation(rows))
+		case "wait":
+			rows, err := experiments.WaitForCompleteStudy(netCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Data-transfer/EC parallelism trade-off (lossy channels):")
+			fmt.Print(experiments.FormatAblation(rows))
+		default:
+			return fmt.Errorf("unknown study %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	studies := []string{*study}
+	if *study == "all" {
+		studies = []string{"adaptive", "stepsize", "corelayout", "erasure", "scheduler", "wait"}
+	}
+	for _, s := range studies {
+		if err := runStudy(s); err != nil {
+			fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

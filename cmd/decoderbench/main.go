@@ -1,0 +1,59 @@
+// Command decoderbench regenerates Fig. 8 of the paper: the Pauli error
+// threshold of surface codes under the Union-Find decoder and the SurfNet
+// Decoder, with a fixed erasure rate and error rates halved on the Core part.
+//
+// Usage:
+//
+//	decoderbench [-trials N] [-distances 9,11,13,15] [-erasure 0.15] [-seed S] [-mwpm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"surfnet"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	trials := flag.Int("trials", 300, "Monte-Carlo trials per (decoder, distance, rate) point")
+	distances := flag.String("distances", "9,11,13,15", "comma-separated code distances")
+	erasure := flag.Float64("erasure", 0.15, "fixed erasure rate (paper: 15%)")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	mwpm := flag.Bool("mwpm", false, "additionally evaluate the modified MWPM decoder (Algorithm 1)")
+	flag.Parse()
+
+	cfg := surfnet.DefaultFig8()
+	cfg.Trials = *trials
+	cfg.ErasureRate = *erasure
+	cfg.Seed = *seed
+	var ds []int
+	for _, part := range strings.Split(*distances, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decoderbench: bad distance %q: %v\n", part, err)
+			return 1
+		}
+		ds = append(ds, d)
+	}
+	cfg.Distances = ds
+	if *mwpm {
+		cfg.Decoders = append(cfg.Decoders, surfnet.NewMWPMDecoder())
+	}
+
+	points, err := surfnet.Fig8(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decoderbench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("Fig 8: logical error rate vs Pauli rate (erasure %.0f%%, Core rates halved, %d trials/point)\n",
+		*erasure*100, *trials)
+	fmt.Print(surfnet.FormatFig8(points))
+	return 0
+}

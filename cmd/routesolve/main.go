@@ -1,0 +1,95 @@
+// Command routesolve schedules a batch of random requests on a generated
+// scenario with the paper's LP-relaxation-with-rounding scheduler and prints
+// the resulting routes: per-request acceptance, Core/Support paths, error
+// correction servers, and scheduled noise.
+//
+// Usage:
+//
+//	routesolve [-design surfnet|raw|purification-1|purification-2|purification-9]
+//	           [-scenario ...] [-connection ...] [-requests K] [-messages M] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"surfnet"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	design := flag.String("design", "surfnet", "network design: surfnet, raw, purification-1/2/9")
+	scenario := flag.String("scenario", "sufficient", "facility scenario")
+	connection := flag.String("connection", "good", "fiber quality: good or poor")
+	requests := flag.Int("requests", 6, "number of random requests")
+	messages := flag.Int("messages", 3, "maximum surface codes per request")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var d surfnet.Design
+	switch *design {
+	case "surfnet":
+		d = surfnet.DesignSurfNet
+	case "raw":
+		d = surfnet.DesignRaw
+	case "purification-1":
+		d = surfnet.DesignPurification1
+	case "purification-2":
+		d = surfnet.DesignPurification2
+	case "purification-9":
+		d = surfnet.DesignPurification9
+	default:
+		fmt.Fprintf(os.Stderr, "routesolve: unknown design %q\n", *design)
+		return 1
+	}
+	var fac surfnet.Facilities
+	switch *scenario {
+	case "abundant":
+		fac = surfnet.Abundant
+	case "sufficient":
+		fac = surfnet.Sufficient
+	case "insufficient":
+		fac = surfnet.Insufficient
+	default:
+		fmt.Fprintf(os.Stderr, "routesolve: unknown scenario %q\n", *scenario)
+		return 1
+	}
+	fr := surfnet.GoodConnection
+	if *connection == "poor" {
+		fr = surfnet.PoorConnection
+	}
+
+	src := surfnet.NewRand(*seed)
+	net, err := surfnet.GenerateNetwork(surfnet.DefaultTopology(fac, fr), src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
+		return 1
+	}
+	reqs, err := surfnet.GenRequests(net, *requests, *messages, src.Split("reqs"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
+		return 1
+	}
+	sched, err := surfnet.ScheduleRoutes(net, reqs, surfnet.DefaultRouting(d))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("design=%v scenario=%s connection=%s requests=%d\n", d, *scenario, *connection, len(reqs))
+	fmt.Printf("throughput=%.3f accepted=%d expected-fidelity=%.3f\n\n",
+		sched.Throughput(), sched.AcceptedCodes(), sched.MeanExpectedFidelity())
+	for i, rs := range sched.Requests {
+		fmt.Printf("request %d: %d -> %d, %d/%d codes scheduled\n",
+			i, rs.Request.Src, rs.Request.Dst, rs.Accepted(), rs.Request.Messages)
+		for c, cr := range rs.Codes {
+			fmt.Printf("  code %d: core=%v support=%v servers=%v coreNoise=%.3f totalNoise=%.3f fid=%.3f\n",
+				c, cr.CorePath, cr.SupportPath, cr.Servers, cr.CoreNoise, cr.TotalNoise, cr.ExpectedFidelity())
+		}
+	}
+	return 0
+}

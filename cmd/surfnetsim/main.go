@@ -1,0 +1,101 @@
+// Command surfnetsim regenerates the network experiments of the paper's
+// evaluation section: the Raw-vs-SurfNet scenario comparison of Fig. 6(a),
+// the parameter sweeps of Fig. 6(b.1-4), and the five-design fidelity
+// comparison of Fig. 7.
+//
+// Usage:
+//
+//	surfnetsim -fig 6a|6b1|6b2|6b3|6b4|7|all [-trials N] [-requests K] [-seed S] [-greedy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"surfnet"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fig := flag.String("fig", "all", "figure to regenerate: 6a, 6b1, 6b2, 6b3, 6b4, 7, or all")
+	trials := flag.Int("trials", 12, "random networks per experiment cell (paper: 1080)")
+	requests := flag.Int("requests", 8, "communication requests per trial")
+	maxMsgs := flag.Int("messages", 3, "maximum surface codes per request")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	greedy := flag.Bool("greedy", false, "use the greedy scheduler instead of LP relaxation + rounding")
+	flag.Parse()
+
+	cfg := surfnet.DefaultExperiments()
+	cfg.Trials = *trials
+	cfg.Requests = *requests
+	cfg.MaxMessages = *maxMsgs
+	cfg.Seed = *seed
+	cfg.UseLP = !*greedy
+
+	runFig := func(name string) error {
+		switch name {
+		case "6a":
+			rows, err := surfnet.Fig6a(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig 6(a): Raw vs SurfNet across facility scenarios")
+			fmt.Print(surfnet.FormatFig6a(rows))
+		case "6b1":
+			pts, err := surfnet.Fig6b1(cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig 6(b.1): facility capacity sweep (SurfNet)")
+			fmt.Print(surfnet.FormatSweep("capacity-factor", pts))
+		case "6b2":
+			pts, err := surfnet.Fig6b2(cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig 6(b.2): entanglement generation rate sweep (SurfNet)")
+			fmt.Print(surfnet.FormatSweep("entanglement-factor", pts))
+		case "6b3":
+			pts, err := surfnet.Fig6b3(cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig 6(b.3): messages-per-request sweep (SurfNet)")
+			fmt.Print(surfnet.FormatSweep("messages/request", pts))
+		case "6b4":
+			pts, err := surfnet.Fig6b4(cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig 6(b.4): routing fidelity threshold sweep (SurfNet)")
+			fmt.Print(surfnet.FormatSweep("fidelity-threshold", pts))
+		case "7":
+			rows, err := surfnet.Fig7(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig 7: averaged communication fidelity of the five designs")
+			fmt.Print(surfnet.FormatFig7(rows))
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = []string{"6a", "6b1", "6b2", "6b3", "6b4", "7"}
+	}
+	for _, f := range figs {
+		if err := runFig(f); err != nil {
+			fmt.Fprintf(os.Stderr, "surfnetsim: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}

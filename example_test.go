@@ -1,0 +1,83 @@
+package surfnet_test
+
+import (
+	"fmt"
+
+	"surfnet"
+)
+
+// ExampleDecode corrects a single bulk error on a distance-5 code with the
+// SurfNet Decoder.
+func ExampleDecode() {
+	code, err := surfnet.NewCode(5, surfnet.CoreLShape)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	frame := surfnet.NewFrame(code.NumData())
+	frame[code.NumData()/2] = surfnet.X
+	erased := make([]bool, code.NumData())
+	probs := make([]float64, code.NumData())
+	for i := range probs {
+		probs[i] = 0.05
+	}
+	res, err := surfnet.Decode(code, surfnet.NewSurfNetDecoder(0), frame, erased, probs)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("logical error:", res.Failed())
+	// Output:
+	// logical error: false
+}
+
+// ExampleCode_CoreSize shows the paper's Core-axis count (d-1)+(d-2).
+func ExampleCode_CoreSize() {
+	for _, d := range []int{3, 5, 9, 15} {
+		code, err := surfnet.NewCode(d, surfnet.CoreLShape)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("d=%d: %d data qubits, %d in the Core\n", d, code.NumData(), code.CoreSize())
+	}
+	// Output:
+	// d=3: 13 data qubits, 3 in the Core
+	// d=5: 41 data qubits, 7 in the Core
+	// d=9: 145 data qubits, 15 in the Core
+	// d=15: 421 data qubits, 27 in the Core
+}
+
+// ExampleScheduleRoutes schedules one request on a fixed line network.
+func ExampleScheduleRoutes() {
+	nodes := []surfnet.Node{
+		{ID: 0, Role: surfnet.User},
+		{ID: 1, Role: surfnet.Switch, Capacity: 200},
+		{ID: 2, Role: surfnet.Server, Capacity: 400},
+		{ID: 3, Role: surfnet.Switch, Capacity: 200},
+		{ID: 4, Role: surfnet.User},
+	}
+	var fibers []surfnet.Fiber
+	for i := 0; i < 4; i++ {
+		fibers = append(fibers, surfnet.Fiber{
+			ID: i, A: i, B: i + 1, Fidelity: 0.8, EntPairs: 50, EntRate: 0.6, LossProb: 0.05,
+		})
+	}
+	net, err := surfnet.NewNetwork(nodes, fibers)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sched, err := surfnet.ScheduleRoutes(net,
+		[]surfnet.Request{{Src: 0, Dst: 4, Messages: 2}},
+		surfnet.DefaultRouting(surfnet.DesignSurfNet))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rs := sched.Requests[0]
+	fmt.Printf("accepted %d codes; error correction at servers %v\n",
+		rs.Accepted(), rs.Codes[0].Servers)
+	// Output:
+	// accepted 2 codes; error correction at servers [2]
+}

@@ -1,0 +1,69 @@
+// Dual-channel demonstration: why splitting a surface code into Core and
+// Support parts helps.
+//
+// The example runs the same workload through three designs over a series of
+// random poor-connection networks — SurfNet (dual channel), Raw (plain
+// channel only), and Purification N=2 (teleportation only) — and reports the
+// averaged fidelity / latency / throughput trade-off that motivates the
+// paper.
+//
+// Run with: go run ./examples/dualchannel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"surfnet"
+)
+
+func main() {
+	const trials = 10
+	designs := []surfnet.Design{surfnet.DesignSurfNet, surfnet.DesignRaw, surfnet.DesignPurification2}
+
+	fmt.Println("scenario: sufficient facilities, poor connections (fiber fidelity in [0.5, 1))")
+	fmt.Printf("%d random networks, 8 requests each\n\n", trials)
+	fmt.Printf("%-16s %10s %10s %10s\n", "design", "throughput", "fidelity", "latency")
+
+	for _, d := range designs {
+		params := surfnet.DefaultRouting(d)
+		fac := surfnet.Sufficient
+		var thSum, fidSum, latSum float64
+		fidTrials := 0
+		for i := 0; i < trials; i++ {
+			src := surfnet.NewRand(uint64(100 + i))
+			net, err := surfnet.GenerateNetwork(surfnet.DefaultTopology(fac, surfnet.PoorConnection), src)
+			if err != nil {
+				log.Fatalf("generating network: %v", err)
+			}
+			reqs, err := surfnet.GenRequests(net, 8, 2, src.Split("requests"))
+			if err != nil {
+				log.Fatalf("generating requests: %v", err)
+			}
+			sched, err := surfnet.ScheduleRoutes(net, reqs, params)
+			if err != nil {
+				log.Fatalf("%v: scheduling: %v", d, err)
+			}
+			thSum += sched.Throughput()
+			if sched.AcceptedCodes() == 0 {
+				continue
+			}
+			res, err := surfnet.Execute(net, sched, surfnet.DefaultEngine(), src.Split("run"))
+			if err != nil {
+				log.Fatalf("%v: executing: %v", d, err)
+			}
+			fidSum += res.Fidelity()
+			latSum += res.MeanLatency()
+			fidTrials++
+		}
+		fid, lat := 0.0, 0.0
+		if fidTrials > 0 {
+			fid = fidSum / float64(fidTrials)
+			lat = latSum / float64(fidTrials)
+		}
+		fmt.Printf("%-16v %10.3f %10.3f %10.1f\n", d, thSum/trials, fid, lat)
+	}
+	fmt.Println("\nSurfNet keeps fidelity high by sending the decoder-critical Core qubits")
+	fmt.Println("over the purified entanglement channel and correcting at servers en route;")
+	fmt.Println("the teleportation-only baseline pays for its waits with decohered payloads.")
+}

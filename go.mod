@@ -1,0 +1,3 @@
+module surfnet
+
+go 1.22

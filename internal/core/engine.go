@@ -1,0 +1,341 @@
+// Package core implements the paper's primary contribution as a running
+// system: the SurfNet online execution stage (§V-B). Given an offline
+// schedule from the routing protocol, the engine simulates slot-by-slot
+// transfer of every scheduled surface code over the two channels —
+// opportunistic teleportation of the Core part across entanglement segments,
+// plain-channel photon transport of the Support part with loss — performs
+// real error-correction decoding at the scheduled servers and at the
+// destination, and reports the paper's three evaluation metrics: fidelity
+// (success rate), latency (waiting slots), and, together with the schedule,
+// throughput.
+//
+// The same engine executes the baseline designs: Raw (everything over plain
+// channels) and Purification N=1,2,9 (teleportation-only with N extra pairs
+// consumed per fiber).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"surfnet/internal/decoder"
+	"surfnet/internal/network"
+	"surfnet/internal/quantum"
+	"surfnet/internal/rng"
+	"surfnet/internal/routing"
+	"surfnet/internal/surfacecode"
+)
+
+// ErrConfig is returned for invalid engine configuration.
+var ErrConfig = errors.New("core: invalid config")
+
+// Config parameterizes the online execution engine.
+type Config struct {
+	// Code is the surface code carried by every communication. Its
+	// Core/Support partition sizes must match the schedule's routing
+	// parameters for SurfNet schedules.
+	Code *surfacecode.Code
+	// Decoder performs error correction at servers and destinations.
+	// Defaults to the SurfNet Decoder.
+	Decoder decoder.Decoder
+	// MinSegment is the minimum number of consecutive entangled fibers
+	// required before the Core part moves forward; the paper fixes two
+	// (§V-B "we fix the minimum distance for the movement to be two
+	// consecutive optical fibers").
+	MinSegment int
+	// MaxSlots bounds each communication; codes still in flight after
+	// this many slots are counted as undelivered.
+	MaxSlots int
+	// WaitForComplete switches off the data-transfer/error-correction
+	// parallelism of §V-B: lost Support photons are retransmitted from
+	// the previous node until the full code is present, instead of being
+	// marked as erasures for the decoder. Slower but more reliable — the
+	// trade-off the paper describes.
+	WaitForComplete bool
+	// FiberFailProb is the per-slot probability that a fiber on the
+	// remaining path crashes (§V-B "crashes in incoming/outgoing ports").
+	FiberFailProb float64
+	// RepairSlots is how long a crashed fiber stays down.
+	RepairSlots int
+	// DisableRecovery turns off local recovery paths, leaving codes to
+	// wait out fiber outages.
+	DisableRecovery bool
+	// ChannelErrorScale converts a fiber's infidelity into the per-hop,
+	// per-photon decoding-graph flip probability: flip = scale * (1 -
+	// gamma). It calibrates how much of a fiber's measured infidelity
+	// lands on each individual photon; the default 0.15 places
+	// paper-scale routes (2-5 hops between corrections at fiber fidelity
+	// 0.75-1) around the surface-code threshold, where the designs
+	// differentiate.
+	ChannelErrorScale float64
+	// MemoryDecay is the per-slot state retention of a bare teleportation
+	// payload waiting for entanglement in the purification baselines.
+	// Surface-code parts are exempt: the paper keeps them refreshed via
+	// error mitigation circuits at each node (§IV-A, §V-B), which is
+	// precisely the waiting-time weakness of teleportation-only networks
+	// that SurfNet targets. 1 disables decay; the default is 0.999.
+	MemoryDecay float64
+	// PairLifetime is how many slots an entangled pair stays usable in
+	// the purification baselines before decohering away — the "short
+	// lifespan of entangled pairs" of §I. Mainstream networks must
+	// assemble a full end-to-end chain of live pairs before teleporting,
+	// which is what makes distant teleportation time-consuming. Zero
+	// selects 20.
+	PairLifetime int
+	// SwapEfficiency is the fidelity retention of one entanglement swap
+	// at an intermediate node. Teleportation across k fibers performs k-1
+	// swaps; SurfNet's opportunistic segments pay it within each segment.
+	// Zero selects 0.9.
+	SwapEfficiency float64
+}
+
+// DefaultConfig returns the paper-default engine: a distance-5 code, the
+// SurfNet Decoder, two-fiber opportunistic segments, and no fiber crashes.
+func DefaultConfig() Config {
+	return Config{
+		Code:              surfacecode.MustNew(5, surfacecode.CoreLShape),
+		Decoder:           decoder.SurfNet{},
+		MinSegment:        2,
+		MaxSlots:          400,
+		RepairSlots:       5,
+		ChannelErrorScale: 0.15,
+		MemoryDecay:       0.999,
+		PairLifetime:      20,
+		SwapEfficiency:    0.9,
+	}
+}
+
+func (c Config) validate(sched routing.Schedule) error {
+	if c.Code == nil {
+		return fmt.Errorf("%w: nil code", ErrConfig)
+	}
+	if c.Decoder == nil {
+		return fmt.Errorf("%w: nil decoder", ErrConfig)
+	}
+	if c.MinSegment < 1 {
+		return fmt.Errorf("%w: MinSegment %d < 1", ErrConfig, c.MinSegment)
+	}
+	if c.MaxSlots < 1 {
+		return fmt.Errorf("%w: MaxSlots %d < 1", ErrConfig, c.MaxSlots)
+	}
+	if c.FiberFailProb < 0 || c.FiberFailProb > 1 {
+		return fmt.Errorf("%w: FiberFailProb %v", ErrConfig, c.FiberFailProb)
+	}
+	if c.MemoryDecay < 0 || c.MemoryDecay > 1 {
+		return fmt.Errorf("%w: MemoryDecay %v", ErrConfig, c.MemoryDecay)
+	}
+	if c.ChannelErrorScale < 0 || c.ChannelErrorScale > 1 {
+		return fmt.Errorf("%w: ChannelErrorScale %v", ErrConfig, c.ChannelErrorScale)
+	}
+	if c.PairLifetime < 0 {
+		return fmt.Errorf("%w: PairLifetime %d", ErrConfig, c.PairLifetime)
+	}
+	if c.SwapEfficiency < 0 || c.SwapEfficiency > 1 {
+		return fmt.Errorf("%w: SwapEfficiency %v", ErrConfig, c.SwapEfficiency)
+	}
+	p := sched.Params
+	adaptive := len(p.AdaptiveDistances) > 0
+	if !adaptive && (sched.Design == routing.SurfNet || sched.Design == routing.Raw) {
+		if p.TotalQubits() != c.Code.NumData() {
+			return fmt.Errorf("%w: schedule sized for %d qubits, code has %d",
+				ErrConfig, p.TotalQubits(), c.Code.NumData())
+		}
+		if sched.Design == routing.SurfNet && p.CoreQubits != c.Code.CoreSize() {
+			return fmt.Errorf("%w: schedule has %d core qubits, code has %d",
+				ErrConfig, p.CoreQubits, c.Code.CoreSize())
+		}
+	}
+	return nil
+}
+
+// Outcome records the execution of one scheduled surface code.
+type Outcome struct {
+	// Request indexes into the schedule's request list.
+	Request int
+	// Code indexes the surface code within its request.
+	Code int
+	// Delivered reports arrival at the destination within MaxSlots.
+	Delivered bool
+	// Success reports delivery with no logical error at any error
+	// correction or the final decode — the paper's per-communication
+	// "occurring without any errors".
+	Success bool
+	// Latency is the delivery slot count (meaningful when Delivered).
+	Latency int
+	// Corrections counts error corrections performed en route.
+	Corrections int
+	// Retransmissions counts Support retransmission waves (only under
+	// WaitForComplete).
+	Retransmissions int
+	// Recoveries counts local recovery reroutes after fiber crashes.
+	Recoveries int
+}
+
+// RunResult aggregates all outcomes of executing one schedule.
+type RunResult struct {
+	Design   routing.Design
+	Outcomes []Outcome
+}
+
+// Fidelity is the paper's communication fidelity: the fraction of scheduled
+// communications that completed without any error.
+func (r RunResult) Fidelity() float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, o := range r.Outcomes {
+		if o.Success {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(r.Outcomes))
+}
+
+// MeanLatency is the average delivery latency in slots over delivered codes.
+func (r RunResult) MeanLatency() float64 {
+	sum, n := 0, 0
+	for _, o := range r.Outcomes {
+		if o.Delivered {
+			sum += o.Latency
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// DeliveredFraction is the fraction of scheduled codes that arrived within
+// the slot budget.
+func (r RunResult) DeliveredFraction() float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Delivered {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Outcomes))
+}
+
+// Run executes every scheduled code of sched on net. Codes are simulated on
+// independent randomness sub-streams, so results are reproducible and
+// insensitive to iteration order.
+func Run(net *network.Network, sched routing.Schedule, cfg Config, src *rng.Source) (RunResult, error) {
+	if err := cfg.validate(sched); err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{Design: sched.Design}
+	// Codes by distance, for QoS-adaptive schedules; distance 0 is the
+	// configured default code.
+	codes := map[int]*surfacecode.Code{0: cfg.Code}
+	for ri, rs := range sched.Requests {
+		for ci, cr := range rs.Codes {
+			code, ok := codes[cr.Distance]
+			if !ok {
+				var err error
+				code, err = surfacecode.New(cr.Distance, cfg.Code.Layout())
+				if err != nil {
+					return RunResult{}, fmt.Errorf("request %d code %d: building distance-%d code: %w",
+						ri, ci, cr.Distance, err)
+				}
+				codes[cr.Distance] = code
+			}
+			stream := src.SplitN(fmt.Sprintf("req%d", ri), ci)
+			o, err := runOne(net, sched, cfg, code, rs.Request, cr, stream)
+			if err != nil {
+				return RunResult{}, fmt.Errorf("request %d code %d: %w", ri, ci, err)
+			}
+			o.Request, o.Code = ri, ci
+			res.Outcomes = append(res.Outcomes, o)
+		}
+	}
+	return res, nil
+}
+
+// runOne dispatches on the schedule's design.
+func runOne(net *network.Network, sched routing.Schedule, cfg Config, code *surfacecode.Code, req network.Request, cr routing.CodeRoute, src *rng.Source) (Outcome, error) {
+	switch sched.Design {
+	case routing.SurfNet, routing.Raw:
+		t := newTransfer(net, sched, cfg, code, req, cr, src)
+		return t.run()
+	default:
+		return runPurification(net, sched, cfg, req, cr, src)
+	}
+}
+
+// runPurification executes a mainstream teleportation-only transfer (the
+// first network scheme of §I). Unlike SurfNet's opportunistic segments
+// (§V-B), the baseline must assemble an end-to-end chain: every fiber of the
+// path simultaneously holding 1+N live entangled pairs (pairs expire after
+// PairLifetime slots — the short entanglement lifespan of §I). Once the
+// chain is up, entanglement swapping at every intermediate node fuses it
+// into one end-to-end pair that teleports the message. The payload is
+// unencoded — mainstream networks carry the data qubits themselves, with no
+// error correction anywhere — so delivery succeeds with probability equal to
+// the chain fidelity after purification, swap losses, and the memory decay
+// accumulated while waiting.
+func runPurification(net *network.Network, sched routing.Schedule, cfg Config, req network.Request, cr routing.CodeRoute, src *rng.Source) (Outcome, error) {
+	n := sched.Design.PurifyRounds()
+	path := cr.CorePath
+	need := 1 + n
+	life := cfg.PairLifetime
+	if life == 0 {
+		life = 20
+	}
+	// expiries[i] holds the expiry slots of fiber i's live pairs.
+	expiries := make([][]int, len(path))
+	var out Outcome
+
+	ready := false
+	slot := 0
+	for ; slot < cfg.MaxSlots && !ready; slot++ {
+		ready = true
+		for i, fi := range path {
+			// Expire old pairs, attempt one generation.
+			live := expiries[i][:0]
+			for _, exp := range expiries[i] {
+				if exp > slot {
+					live = append(live, exp)
+				}
+			}
+			if len(live) < need && src.Bool(net.Fiber(fi).EntRate) {
+				live = append(live, slot+life)
+			}
+			expiries[i] = live
+			if len(live) < need {
+				ready = false
+			}
+		}
+	}
+	if !ready {
+		return out, nil // timed out waiting for the chain
+	}
+	out.Delivered = true
+	out.Latency = slot
+	// End-to-end fidelity: purified links, one swap per intermediate
+	// node, and the decay the payload suffered while the chain built.
+	swapEff := cfg.SwapEfficiency
+	if swapEff == 0 {
+		swapEff = 0.9
+	}
+	decay := cfg.MemoryDecay
+	if decay == 0 {
+		decay = 1
+	}
+	chain := 1.0
+	for _, fi := range path {
+		chain *= quantum.PurifyN(net.Fiber(fi).Fidelity, n)
+	}
+	for k := 1; k < len(path); k++ {
+		chain *= swapEff
+	}
+	chain *= math.Pow(decay, float64(slot))
+	out.Success = src.Bool(chain)
+	return out, nil
+}

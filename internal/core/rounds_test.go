@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"surfnet/internal/rng"
+	"surfnet/internal/routing"
+	"surfnet/internal/topology"
+)
+
+func TestRoundConfigValidation(t *testing.T) {
+	net, err := topology.Generate(topology.DefaultParams(topology.Sufficient, topology.GoodConnection), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultRoundConfig()
+	bad.Rounds = 0
+	if _, err := RunRounds(net, bad, rng.New(1)); err == nil {
+		t.Error("zero rounds should fail")
+	}
+	bad = DefaultRoundConfig()
+	bad.MaxMessages = 0
+	if _, err := RunRounds(net, bad, rng.New(1)); err == nil {
+		t.Error("zero max messages should fail")
+	}
+	bad = DefaultRoundConfig()
+	bad.Routing.CoreQubits = 0
+	if _, err := RunRounds(net, bad, rng.New(1)); err == nil {
+		t.Error("invalid routing params should fail")
+	}
+}
+
+func TestRunRoundsContinuousOperation(t *testing.T) {
+	net, err := topology.Generate(topology.DefaultParams(topology.Sufficient, topology.GoodConnection), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRoundConfig()
+	rc.Rounds = 5
+	rc.ArrivalsPerRound = 3
+	res, err := RunRounds(net, rc, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 5 {
+		t.Fatalf("rounds = %d, want 5", len(res.Rounds))
+	}
+	if res.TotalScheduled() == 0 {
+		t.Fatal("continuous run scheduled nothing")
+	}
+	if f := res.Fidelity(); f <= 0 || f > 1 {
+		t.Fatalf("fidelity %v", f)
+	}
+	for _, ro := range res.Rounds {
+		if ro.Arrived != 3 {
+			t.Fatalf("round %d arrivals %d", ro.Round, ro.Arrived)
+		}
+		if ro.Pending < ro.Arrived-ro.Scheduled {
+			t.Fatalf("round %d backlog accounting wrong", ro.Round)
+		}
+		if len(ro.Result.Outcomes) != ro.Scheduled {
+			t.Fatalf("round %d executed %d of %d scheduled",
+				ro.Round, len(ro.Result.Outcomes), ro.Scheduled)
+		}
+	}
+}
+
+func TestRunRoundsBacklogCarriesForward(t *testing.T) {
+	// A starved network (tiny pair budgets) cannot serve each round's
+	// arrivals; the backlog must grow and then hit the cap.
+	fac := topology.Sufficient
+	fac.EntPairs = 7 // one SurfNet code per fiber per round
+	net, err := topology.Generate(topology.DefaultParams(fac, topology.GoodConnection), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRoundConfig()
+	rc.Rounds = 6
+	rc.ArrivalsPerRound = 6
+	rc.MaxMessages = 3
+	rc.MaxBacklog = 8
+	rc.UseLP = false // keep the starved-run test fast
+	res, err := RunRounds(net, rc, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Error("starved network should overflow the backlog")
+	}
+	grew := false
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].Pending > res.Rounds[0].Pending {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Error("backlog never grew under starvation")
+	}
+}
+
+func TestRunRoundsDeterminism(t *testing.T) {
+	net, err := topology.Generate(topology.DefaultParams(topology.Abundant, topology.GoodConnection), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRoundConfig()
+	rc.Rounds = 3
+	a, err := RunRounds(net, rc, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRounds(net, rc, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalScheduled() != b.TotalScheduled() || a.Fidelity() != b.Fidelity() {
+		t.Fatal("continuous runs with equal seeds diverged")
+	}
+}
+
+func TestRunRoundsWorksForAllDesigns(t *testing.T) {
+	net, err := topology.Generate(topology.DefaultParams(topology.Abundant, topology.GoodConnection), rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []routing.Design{routing.SurfNet, routing.Raw, routing.Purification2} {
+		rc := DefaultRoundConfig()
+		rc.Rounds = 2
+		rc.Routing = routing.DefaultParams(d)
+		res, err := RunRounds(net, rc, rng.New(8))
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if res.TotalScheduled() == 0 {
+			t.Fatalf("%v: nothing scheduled", d)
+		}
+	}
+}

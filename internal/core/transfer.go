@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+
+	"surfnet/internal/decoder"
+	"surfnet/internal/graph"
+	"surfnet/internal/network"
+	"surfnet/internal/quantum"
+	"surfnet/internal/rng"
+	"surfnet/internal/routing"
+	"surfnet/internal/surfacecode"
+)
+
+// partState tracks one part of a surface code (Core or Support) travelling
+// its own route. The two parts share stop nodes (error-correction servers and
+// the destination) but, as Fig. 4 illustrates, their routes may diverge —
+// in particular after a local recovery reroute.
+type partState struct {
+	path  []int // fiber ids, source to destination
+	nodes []int // node ids, len(path)+1
+	pos   int   // completed hops (index into nodes)
+}
+
+// stopIdx returns the node-path index of the given stop node, at or after
+// the current position.
+func (ps *partState) stopIdx(stop int) int {
+	for i := ps.pos; i < len(ps.nodes); i++ {
+		if ps.nodes[i] == stop {
+			return i
+		}
+	}
+	return len(ps.nodes) - 1
+}
+
+// transfer is the slot-level state machine moving one surface code through
+// the network under the SurfNet or Raw design (§V-B one-way communication).
+type transfer struct {
+	net    *network.Network
+	cfg    Config
+	code   *surfacecode.Code
+	design routing.Design
+	src    *rng.Source
+
+	support   partState
+	core      partState // unused for Raw
+	stopNodes []int     // EC servers in path order, then the destination
+	nextStop  int       // index into stopNodes
+
+	// Per-data-qubit channel state.
+	errProb []float64
+	erased  []bool
+	isCore  []bool
+
+	downUntil  map[int]int // fiber id -> slot when repaired
+	failedOnce bool        // logical error at any correction so far
+	out        Outcome
+}
+
+func newTransfer(net *network.Network, sched routing.Schedule, cfg Config, code *surfacecode.Code, req network.Request, cr routing.CodeRoute, src *rng.Source) *transfer {
+	nq := code.NumData()
+	t := &transfer{
+		net:       net,
+		cfg:       cfg,
+		code:      code,
+		design:    sched.Design,
+		src:       src,
+		errProb:   make([]float64, nq),
+		erased:    make([]bool, nq),
+		isCore:    code.CoreMask(),
+		downUntil: make(map[int]int),
+	}
+	t.support.path = append([]int(nil), cr.SupportPath...)
+	t.support.nodes = nodeSeq(net, req.Src, t.support.path)
+	if sched.Design == routing.SurfNet {
+		corePath := cr.CorePath
+		if len(corePath) == 0 {
+			corePath = cr.SupportPath
+		}
+		t.core.path = append([]int(nil), corePath...)
+		t.core.nodes = nodeSeq(net, req.Src, t.core.path)
+	}
+	t.stopNodes = append(append([]int(nil), cr.Servers...), req.Dst)
+	return t
+}
+
+// nodeSeq expands a fiber path from src into its node sequence.
+func nodeSeq(net *network.Network, src int, fibers []int) []int {
+	nodes := []int{src}
+	v := src
+	for _, fi := range fibers {
+		v = net.Other(fi, v)
+		nodes = append(nodes, v)
+	}
+	return nodes
+}
+
+// run drives the transfer to completion or timeout.
+func (t *transfer) run() (Outcome, error) {
+	for slot := 0; slot < t.cfg.MaxSlots; slot++ {
+		t.sampleOutages(slot)
+		stop := t.stopNodes[t.nextStop]
+		supStop := t.support.stopIdx(stop)
+		if t.support.pos < supStop {
+			t.advanceSupport(slot, supStop)
+			supStop = t.support.stopIdx(stop) // recovery may reroute
+		}
+		coreArrived := true
+		if t.design == routing.SurfNet {
+			coreStop := t.core.stopIdx(stop)
+			if t.core.pos < coreStop {
+				t.advanceCore(slot, coreStop)
+				coreStop = t.core.stopIdx(stop)
+			}
+			coreArrived = t.core.pos >= coreStop
+		}
+		if t.support.pos == supStop && coreArrived {
+			if t.cfg.WaitForComplete && t.anyErased() {
+				t.retransmit(supStop)
+				t.out.Retransmissions++
+				continue // retransmission wave costs this slot
+			}
+			atDst := t.nextStop == len(t.stopNodes)-1
+			ok, err := t.decode()
+			if err != nil {
+				return t.out, err
+			}
+			if !ok {
+				t.failedOnce = true
+			}
+			if atDst {
+				t.out.Delivered = true
+				t.out.Latency = slot + 1 // decode completes this slot
+				t.out.Success = !t.failedOnce
+				return t.out, nil
+			}
+			t.out.Corrections++
+			t.nextStop++
+		}
+	}
+	return t.out, nil // timed out: not delivered
+}
+
+// remainingFibers visits every fiber still ahead of either part.
+func (t *transfer) remainingFibers(visit func(fi int)) {
+	seen := map[int]bool{}
+	for i := t.support.pos; i < len(t.support.path); i++ {
+		fi := t.support.path[i]
+		if !seen[fi] {
+			seen[fi] = true
+			visit(fi)
+		}
+	}
+	if t.design == routing.SurfNet {
+		for i := t.core.pos; i < len(t.core.path); i++ {
+			fi := t.core.path[i]
+			if !seen[fi] {
+				seen[fi] = true
+				visit(fi)
+			}
+		}
+	}
+}
+
+// sampleOutages crashes fibers on the remaining routes with FiberFailProb.
+func (t *transfer) sampleOutages(slot int) {
+	if t.cfg.FiberFailProb == 0 {
+		return
+	}
+	t.remainingFibers(func(fi int) {
+		if until, down := t.downUntil[fi]; down && slot < until {
+			return
+		}
+		if t.src.Bool(t.cfg.FiberFailProb) {
+			t.downUntil[fi] = slot + t.cfg.RepairSlots
+		}
+	})
+}
+
+// fiberDown reports whether fiber fi is down at slot.
+func (t *transfer) fiberDown(fi, slot int) bool {
+	until, down := t.downUntil[fi]
+	return down && slot < until
+}
+
+// advanceSupport moves the Support part (or the whole code for Raw) one hop
+// through the plain channel, applying photon loss and fiber noise. Blocked
+// hops attempt a local recovery path.
+func (t *transfer) advanceSupport(slot, stop int) {
+	fi := t.support.path[t.support.pos]
+	if t.fiberDown(fi, slot) {
+		t.tryRecovery(&t.support, slot, stop)
+		return
+	}
+	f := t.net.Fiber(fi)
+	for q := range t.errProb {
+		if t.design == routing.SurfNet && t.isCore[q] {
+			continue // core travels the entanglement channel
+		}
+		if t.erased[q] {
+			continue
+		}
+		if t.src.Bool(f.LossProb) {
+			t.erased[q] = true
+			continue
+		}
+		flip := t.cfg.ChannelErrorScale * (1 - f.Fidelity)
+		t.errProb[q] = 1 - (1-t.errProb[q])*(1-flip)
+	}
+	t.support.pos++
+}
+
+// advanceCore attempts an opportunistic segment move (§V-B): the Core part
+// advances as soon as entanglement is established across at least MinSegment
+// consecutive fibers ahead (or the full remaining distance to the stop).
+// A downed next fiber triggers a local recovery reroute.
+func (t *transfer) advanceCore(slot, stop int) {
+	if t.fiberDown(t.core.path[t.core.pos], slot) {
+		t.tryRecovery(&t.core, slot, stop)
+		return
+	}
+	dist := stop - t.core.pos
+	prefix := 0
+	for i := t.core.pos; i < stop; i++ {
+		fi := t.core.path[i]
+		if t.fiberDown(fi, slot) || !t.src.Bool(t.net.Fiber(fi).EntRate) {
+			break
+		}
+		prefix++
+	}
+	need := t.cfg.MinSegment
+	if dist < need {
+		need = dist
+	}
+	if prefix < need {
+		return
+	}
+	// Teleport across the established segment: purified pair fidelities
+	// (one purification round per fiber on the entanglement-based channel,
+	// §IV-C) fused by one swap per segment-internal node.
+	segFid := 1.0
+	for i := 0; i < prefix; i++ {
+		f := t.net.Fiber(t.core.path[t.core.pos+i])
+		segFid *= quantum.Purify(f.Fidelity, f.Fidelity)
+	}
+	swapEff := t.cfg.SwapEfficiency
+	if swapEff == 0 {
+		swapEff = 0.9
+	}
+	for k := 1; k < prefix; k++ {
+		segFid *= swapEff
+	}
+	flip := t.cfg.ChannelErrorScale * (1 - segFid)
+	for q := range t.errProb {
+		if !t.isCore[q] {
+			continue
+		}
+		t.errProb[q] = 1 - (1-t.errProb[q])*(1-flip)
+	}
+	t.core.pos += prefix
+}
+
+// retransmit re-sends lost Support qubits across the current segment (the
+// WaitForComplete mode): each erased qubit is re-delivered with fresh segment
+// noise, possibly being lost again.
+func (t *transfer) retransmit(stop int) {
+	segStart := t.segmentStart(stop)
+	for q := range t.erased {
+		if !t.erased[q] {
+			continue
+		}
+		t.erased[q] = false
+		t.errProb[q] = 0
+		for i := segStart; i < stop; i++ {
+			f := t.net.Fiber(t.support.path[i])
+			if t.src.Bool(f.LossProb) {
+				t.erased[q] = true
+				break
+			}
+			flip := t.cfg.ChannelErrorScale * (1 - f.Fidelity)
+			t.errProb[q] = 1 - (1-t.errProb[q])*(1-flip)
+		}
+	}
+}
+
+// segmentStart returns the Support node index where the current segment began
+// (the previous stop, or the source).
+func (t *transfer) segmentStart(stop int) int {
+	if t.nextStop == 0 {
+		return 0
+	}
+	prev := t.stopNodes[t.nextStop-1]
+	for i := stop; i >= 0; i-- {
+		if t.support.nodes[i] == prev {
+			return i
+		}
+	}
+	return 0
+}
+
+// tryRecovery splices a local recovery path around down fibers for one part,
+// from its blocked position to the next stop (§V-B: "a node can locally
+// replace a failed route with a recovery path leading to the next designated
+// node"). The parts recover independently — their routes need not coincide.
+func (t *transfer) tryRecovery(part *partState, slot, stop int) {
+	if t.cfg.DisableRecovery {
+		return
+	}
+	from := part.nodes[part.pos]
+	target := part.nodes[stop]
+	g := graph.NewWeighted(t.net.NumNodes())
+	for fi := 0; fi < t.net.NumFibers(); fi++ {
+		if t.fiberDown(fi, slot) {
+			continue
+		}
+		f := t.net.Fiber(fi)
+		okNode := func(v int) bool {
+			return v == from || v == target || t.net.Node(v).Role != network.User
+		}
+		if !okNode(f.A) || !okNode(f.B) {
+			continue
+		}
+		g.AddEdge(graph.Edge{ID: fi, U: f.A, V: f.B, Weight: f.Noise()})
+	}
+	sp := g.Dijkstra(from)
+	alt := sp.PathTo(g, target)
+	if alt == nil {
+		return
+	}
+	altFibers := make([]int, len(alt))
+	for i, ei := range alt {
+		altFibers[i] = g.Edge(ei).ID
+	}
+	// Splice: keep the travelled prefix, replace the current segment.
+	newPath := append(append([]int(nil), part.path[:part.pos]...), altFibers...)
+	newPath = append(newPath, part.path[stop:]...)
+	part.path = newPath
+	part.nodes = nodeSeq(t.net, part.nodes[0], part.path)
+	t.out.Recoveries++
+}
+
+// anyErased reports whether any Support qubit is currently missing.
+func (t *transfer) anyErased() bool {
+	for _, e := range t.erased {
+		if e {
+			return true
+		}
+	}
+	return false
+}
+
+// decode samples the accumulated channel error and runs the configured
+// decoder over both graphs, then resets the channel state (a corrected code
+// is fresh). It reports whether the code survived without a logical error.
+func (t *transfer) decode() (bool, error) {
+	code := t.code
+	frame := quantum.NewFrame(code.NumData())
+	mixed := [4]quantum.Pauli{quantum.I, quantum.X, quantum.Y, quantum.Z}
+	probs := make([]float64, code.NumData())
+	for q := range frame {
+		if t.erased[q] {
+			frame[q] = mixed[t.src.IntN(4)]
+			continue
+		}
+		// Independent X/Z flips at the accumulated channel error rate.
+		if t.src.Bool(t.errProb[q]) {
+			frame[q] = frame[q].Mul(quantum.X)
+		}
+		if t.src.Bool(t.errProb[q]) {
+			frame[q] = frame[q].Mul(quantum.Z)
+		}
+		probs[q] = t.errProb[q]
+	}
+	res, err := decoder.DecodeFrame(code, t.cfg.Decoder, frame, t.erased, probs)
+	if err != nil {
+		return false, fmt.Errorf("core: decoding at stop %d: %w", t.nextStop, err)
+	}
+	for q := range t.errProb {
+		t.errProb[q] = 0
+		t.erased[q] = false
+	}
+	return !res.Failed(), nil
+}

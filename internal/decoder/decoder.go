@@ -1,0 +1,159 @@
+// Package decoder implements the error-correction decoders of the paper:
+// the modified minimum-weight perfect-matching decoder (Algorithm 1), the
+// Union-Find baseline decoder of Delfosse–Nickerson, and the SurfNet Decoder
+// (Algorithm 2) with its fidelity-weighted cluster growth, all sharing the
+// peeling decoder of Delfosse–Zémor for the final correction extraction.
+//
+// A Decoder works on one decoding graph at a time (the Z-graph for X-type
+// errors or the X-graph for Z-type errors). DecodeFrame runs a decoder on
+// both graphs of a code and reports whether the corrected state carries a
+// logical error, which is the quantity the paper's Fig. 8 plots.
+package decoder
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"surfnet/internal/quantum"
+	"surfnet/internal/surfacecode"
+)
+
+// ErrInvalidInput is returned when a decoding input is malformed.
+var ErrInvalidInput = errors.New("decoder: invalid input")
+
+// Input is one decoding problem: the observed syndromes on a decoding graph
+// together with the channel-side information SurfNet maintains — erasure
+// locations and per-qubit estimated error probabilities (§IV-C: "estimated
+// data qubit fidelity").
+type Input struct {
+	// Graph is the decoding graph being corrected.
+	Graph *surfacecode.DecodingGraph
+	// Syndromes lists the real measurement vertices with flipped parity.
+	Syndromes []int
+	// Erased marks, per data qubit, the known erasure locations. Erased
+	// qubits are treated as maximally mixed (estimated fidelity 0.5).
+	Erased []bool
+	// ErrorProb gives, per data qubit, the estimated probability that the
+	// qubit carries an error visible on this graph, for non-erased
+	// qubits. Decoders convert it to weights w = -ln(p) and growth
+	// speeds -r/ln(1-rho).
+	ErrorProb []float64
+}
+
+// validate checks structural consistency of the input.
+func (in *Input) validate() error {
+	if in.Graph == nil {
+		return fmt.Errorf("%w: nil graph", ErrInvalidInput)
+	}
+	n := in.Graph.G.NumEdges()
+	if len(in.Erased) != n || len(in.ErrorProb) != n {
+		return fmt.Errorf("%w: side info covers %d/%d qubits, graph has %d edges",
+			ErrInvalidInput, len(in.Erased), len(in.ErrorProb), n)
+	}
+	for _, s := range in.Syndromes {
+		if s < 0 || s >= in.Graph.NumReal {
+			return fmt.Errorf("%w: syndrome vertex %d outside real range [0,%d)",
+				ErrInvalidInput, s, in.Graph.NumReal)
+		}
+	}
+	return nil
+}
+
+// Decoder is a surface-code decoder for a single decoding graph.
+type Decoder interface {
+	// Name identifies the decoder in experiment output.
+	Name() string
+	// Decode returns the estimated error pattern as a set of data-qubit
+	// indices whose flip clears all syndromes.
+	Decode(in Input) ([]int, error)
+}
+
+// Probability clamps for weight computation: a zero probability would give
+// infinite weight (and zero growth speed), stalling cluster growth; a
+// probability at or above 1/2 would give non-positive weight.
+const (
+	minErrorProb = 1e-12
+	maxErrorProb = 0.5
+)
+
+// qubitWeight returns the decoding weight of data qubit q under the input's
+// side information: w = -ln(p_err), with known erasures pinned at
+// p_err = 1 - ErasureFidelity = 0.5 (§IV-C).
+func qubitWeight(in Input, q int) float64 {
+	return -math.Log(qubitErrProb(in, q))
+}
+
+// qubitErrProb returns the clamped estimated error probability of qubit q.
+func qubitErrProb(in Input, q int) float64 {
+	p := in.ErrorProb[q]
+	if in.Erased[q] {
+		p = 1 - quantum.ErasureFidelity
+	}
+	if p < minErrorProb {
+		p = minErrorProb
+	}
+	if p > maxErrorProb {
+		p = maxErrorProb
+	}
+	return p
+}
+
+// Result is the outcome of decoding both graphs of a code.
+type Result struct {
+	// LogicalX reports a logical X failure (X-graph class flip is
+	// LogicalZ; the names follow the operator that ends up applied).
+	LogicalX bool
+	// LogicalZ reports a logical Z failure.
+	LogicalZ bool
+	// Residual is the post-correction frame (error composed with both
+	// corrections); its syndrome is empty on both graphs.
+	Residual quantum.Frame
+}
+
+// Failed reports whether either logical operator was corrupted — the event
+// counted by the paper's logical error rate.
+func (r Result) Failed() bool { return r.LogicalX || r.LogicalZ }
+
+// DecodeFrame runs dec on both decoding graphs of code c for the sampled
+// error frame and erasure mask, applies the corrections, and reports logical
+// failure. errProb gives the per-qubit estimated single-graph error
+// probability (see surfacecode.NoiseModel.EdgeErrorProb).
+func DecodeFrame(c *surfacecode.Code, dec Decoder, frame quantum.Frame, erased []bool, errProb []float64) (Result, error) {
+	res := Result{Residual: frame.Clone()}
+	// X-type components live on the Z-graph; corrections are X flips.
+	zCorr, err := dec.Decode(Input{
+		Graph:     c.Graph(surfacecode.ZGraph),
+		Syndromes: c.Syndrome(surfacecode.ZGraph, frame),
+		Erased:    erased,
+		ErrorProb: errProb,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("decoding Z-graph: %w", err)
+	}
+	for _, q := range zCorr {
+		res.Residual.Apply(q, quantum.X)
+	}
+	// Z-type components live on the X-graph; corrections are Z flips.
+	xCorr, err := dec.Decode(Input{
+		Graph:     c.Graph(surfacecode.XGraph),
+		Syndromes: c.Syndrome(surfacecode.XGraph, frame),
+		Erased:    erased,
+		ErrorProb: errProb,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("decoding X-graph: %w", err)
+	}
+	for _, q := range xCorr {
+		res.Residual.Apply(q, quantum.Z)
+	}
+	if s := c.Syndrome(surfacecode.ZGraph, res.Residual); len(s) != 0 {
+		return Result{}, fmt.Errorf("decoder %s left %d Z-graph syndromes", dec.Name(), len(s))
+	}
+	if s := c.Syndrome(surfacecode.XGraph, res.Residual); len(s) != 0 {
+		return Result{}, fmt.Errorf("decoder %s left %d X-graph syndromes", dec.Name(), len(s))
+	}
+	res.LogicalX = c.HasLogicalError(surfacecode.ZGraph, res.Residual)
+	res.LogicalZ = c.HasLogicalError(surfacecode.XGraph, res.Residual)
+	return res, nil
+}

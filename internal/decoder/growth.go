@@ -1,0 +1,143 @@
+package decoder
+
+import (
+	"fmt"
+
+	"surfnet/internal/graph"
+)
+
+// maxGrowthRounds bounds the cluster-growth loop. Growth speeds are clamped
+// away from zero (see minErrorProb), so any odd cluster always makes
+// progress; the bound only guards against implementation regressions.
+const maxGrowthRounds = 1_000_000
+
+// growthConfig parameterizes the shared cluster-growth engine used by both
+// the Union-Find baseline and the SurfNet Decoder.
+type growthConfig struct {
+	// speed returns the growth contribution (in edge units per round) an
+	// odd cluster adds to data qubit q's edge.
+	speed func(in Input, q int) float64
+	// preGrowErasures adds all erased edges to the initial cluster
+	// support, the erasure handling of the Union-Find decoder baseline
+	// [32]. The SurfNet Decoder instead lets erasures grow at their own
+	// (fastest) speed, per Algorithm 2.
+	preGrowErasures bool
+}
+
+// clusterState tracks per-cluster parity and boundary contact, keyed by
+// union-find root.
+type clusterState struct {
+	uf       *graph.UnionFind
+	odd      []bool // odd number of syndromes in cluster
+	boundary []bool // cluster touches a virtual boundary vertex
+}
+
+func newClusterState(in Input) *clusterState {
+	nv := in.Graph.G.NumVertices()
+	cs := &clusterState{
+		uf:       graph.NewUnionFind(nv),
+		odd:      make([]bool, nv),
+		boundary: make([]bool, nv),
+	}
+	for _, s := range in.Syndromes {
+		cs.odd[s] = true
+	}
+	cs.boundary[in.Graph.BoundaryA()] = true
+	cs.boundary[in.Graph.BoundaryB()] = true
+	return cs
+}
+
+// active reports whether the cluster containing vertex v still needs to grow:
+// odd parity and no boundary contact (a boundary absorbs any parity).
+func (cs *clusterState) active(v int) bool {
+	r := cs.uf.Find(v)
+	return cs.odd[r] && !cs.boundary[r]
+}
+
+// fuse merges the clusters of u and v, combining parity and boundary flags.
+func (cs *clusterState) fuse(u, v int) {
+	ru, rv := cs.uf.Find(u), cs.uf.Find(v)
+	if ru == rv {
+		return
+	}
+	odd := cs.odd[ru] != cs.odd[rv]
+	bnd := cs.boundary[ru] || cs.boundary[rv]
+	r, _ := cs.uf.Union(ru, rv)
+	cs.odd[r] = odd
+	cs.boundary[r] = bnd
+}
+
+// anyActive reports whether any odd cluster remains.
+func (cs *clusterState) anyActive(in Input) bool {
+	for _, s := range in.Syndromes {
+		if cs.active(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// growClusters runs the cluster-growth loop (Algorithm 2 lines 1-10) and
+// returns the support: the dense edge indices that were grown or pre-grown.
+// Growth is synchronous: contributions are computed against the cluster
+// state at the start of each round, and fusions happen at the round's end,
+// matching the round structure of [32].
+func growClusters(in Input, cfg growthConfig) ([]int, error) {
+	dg := in.Graph
+	cs := newClusterState(in)
+	nE := dg.G.NumEdges()
+	growth := make([]float64, nE)
+	grown := make([]bool, nE)
+	var support []int
+
+	absorb := func(ei int) {
+		grown[ei] = true
+		support = append(support, ei)
+	}
+	if cfg.preGrowErasures {
+		for ei := 0; ei < nE; ei++ {
+			if in.Erased[dg.G.Edge(ei).ID] {
+				absorb(ei)
+				e := dg.G.Edge(ei)
+				cs.fuse(e.U, e.V)
+			}
+		}
+	}
+
+	for round := 0; cs.anyActive(in); round++ {
+		if round >= maxGrowthRounds {
+			return nil, fmt.Errorf("decoder: cluster growth did not converge after %d rounds", maxGrowthRounds)
+		}
+		var completed []int
+		for ei := 0; ei < nE; ei++ {
+			if grown[ei] {
+				continue
+			}
+			e := dg.G.Edge(ei)
+			contrib := 0.0
+			if cs.active(e.U) {
+				contrib += cfg.speed(in, e.ID)
+			}
+			if cs.active(e.V) {
+				contrib += cfg.speed(in, e.ID)
+			}
+			if contrib == 0 {
+				continue
+			}
+			growth[ei] += contrib
+			if growth[ei] >= 1-1e-12 {
+				completed = append(completed, ei)
+			}
+		}
+		for _, ei := range completed {
+			absorb(ei)
+		}
+		// Fusions after the scan: clusters meeting in this round merge
+		// together (Algorithm 2 line 7).
+		for _, ei := range completed {
+			e := dg.G.Edge(ei)
+			cs.fuse(e.U, e.V)
+		}
+	}
+	return support, nil
+}

@@ -1,0 +1,101 @@
+package decoder
+
+import (
+	"fmt"
+
+	"surfnet/internal/graph"
+	"surfnet/internal/matching"
+)
+
+// MWPM is the modified minimum-weight perfect-matching decoder of
+// Algorithm 1: it builds the weighted decoding graph from the estimated
+// qubit fidelities, constructs the syndrome path graph via shortest paths,
+// and matches with the blossom algorithm. Boundary matching uses the standard
+// virtual-twin construction: every syndrome gets a private twin connected at
+// the cost of its nearest boundary, and twins pair among themselves for free.
+type MWPM struct{}
+
+// Compile-time interface check.
+var _ Decoder = MWPM{}
+
+// Name implements Decoder.
+func (MWPM) Name() string { return "mwpm" }
+
+// Decode implements Decoder.
+func (MWPM) Decode(in Input) ([]int, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	q := len(in.Syndromes)
+	if q == 0 {
+		return nil, nil
+	}
+	// Step 1 (Alg. 1 line 1): decoding graph with fidelity weights.
+	dg := in.Graph
+	wg := graph.NewWeighted(dg.G.NumVertices())
+	for i := 0; i < dg.G.NumEdges(); i++ {
+		e := dg.G.Edge(i)
+		e.Weight = qubitWeight(in, e.ID)
+		wg.AddEdge(e)
+	}
+	// Step 2 (lines 2-7): path graph over syndromes; distances and paths
+	// from one Dijkstra per syndrome.
+	sps := make([]*graph.ShortestPaths, q)
+	for i, s := range in.Syndromes {
+		sps[i] = wg.Dijkstra(s)
+	}
+	// Matching instance: vertices [0,q) are syndromes, [q,2q) their
+	// boundary twins.
+	var edges []matching.Edge
+	for i := 0; i < q; i++ {
+		for j := i + 1; j < q; j++ {
+			edges = append(edges, matching.Edge{
+				U: i, V: j,
+				Weight: sps[i].Dist[in.Syndromes[j]],
+			})
+		}
+		bd := sps[i].Dist[dg.BoundaryA()]
+		if d2 := sps[i].Dist[dg.BoundaryB()]; d2 < bd {
+			bd = d2
+		}
+		edges = append(edges, matching.Edge{U: i, V: q + i, Weight: bd})
+		for j := i + 1; j < q; j++ {
+			edges = append(edges, matching.Edge{U: q + i, V: q + j, Weight: 0})
+		}
+	}
+	// Step 3 (line 8): blossom on the path graph.
+	mate, _, err := matching.MinWeightPerfect(2*q, edges)
+	if err != nil {
+		return nil, fmt.Errorf("matching syndromes: %w", err)
+	}
+	// Steps 4-5 (lines 9-12): expand matched pairs back into graph paths.
+	// XOR multiplicities so overlapping paths cancel (two corrections on
+	// the same qubit annihilate).
+	flip := make([]bool, dg.G.NumEdges())
+	addPath := func(path []int) {
+		for _, ei := range path {
+			id := wg.Edge(ei).ID
+			flip[id] = !flip[id]
+		}
+	}
+	for i := 0; i < q; i++ {
+		m := mate[i]
+		switch {
+		case m == q+i: // matched to own boundary twin
+			target := dg.BoundaryA()
+			if sps[i].Dist[dg.BoundaryB()] < sps[i].Dist[target] {
+				target = dg.BoundaryB()
+			}
+			addPath(sps[i].PathTo(wg, target))
+		case m < q && m > i: // syndrome pair, count once
+			addPath(sps[i].PathTo(wg, in.Syndromes[m]))
+		}
+	}
+	var corr []int
+	for id, on := range flip {
+		if on {
+			corr = append(corr, id)
+		}
+	}
+	return corr, nil
+}

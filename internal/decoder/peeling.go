@@ -1,0 +1,95 @@
+package decoder
+
+import (
+	"fmt"
+)
+
+// peel runs the peeling decoder of Delfosse–Zémor on the grown support: it
+// extracts a spanning forest (Algorithm 2 line 11), then peels leaf edges
+// inward, emitting an edge into the correction whenever the peeled leaf
+// vertex holds a live syndrome. Trees containing a boundary vertex are rooted
+// there so leftover parity drains into the boundary.
+//
+// The support must satisfy the cluster invariant: every connected component
+// either contains an even number of syndromes or touches a virtual boundary
+// vertex. peel returns an error otherwise.
+func peel(in Input, support []int) ([]int, error) {
+	dg := in.Graph
+	nv := dg.G.NumVertices()
+	forest := dg.G.SpanningForest(support)
+
+	// Adjacency restricted to forest edges.
+	adj := make([][]int32, nv)
+	for _, ei := range forest {
+		e := dg.G.Edge(ei)
+		adj[e.U] = append(adj[e.U], int32(ei))
+		adj[e.V] = append(adj[e.V], int32(ei))
+	}
+
+	syndrome := make([]bool, nv)
+	for _, s := range in.Syndromes {
+		syndrome[s] = true
+	}
+
+	// Root each tree, preferring boundary vertices; produce a BFS order so
+	// that reversing it peels leaves first.
+	visited := make([]bool, nv)
+	parentEdge := make([]int32, nv)
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	var order []int
+	bfs := func(root int) {
+		visited[root] = true
+		queue := []int{root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, ei := range adj[v] {
+				u := dg.G.Other(int(ei), v)
+				if !visited[u] {
+					visited[u] = true
+					parentEdge[u] = ei
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	// Boundary-rooted trees first.
+	for _, b := range []int{dg.BoundaryA(), dg.BoundaryB()} {
+		if !visited[b] {
+			bfs(b)
+		}
+	}
+	for v := 0; v < nv; v++ {
+		if !visited[v] && len(adj[v]) > 0 {
+			bfs(v)
+		}
+	}
+
+	// Peel in reverse BFS order: every non-root vertex hands its live
+	// syndrome to its parent through its parent edge.
+	var corr []int
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		ei := parentEdge[v]
+		if ei < 0 {
+			continue // tree root
+		}
+		if syndrome[v] {
+			syndrome[v] = false
+			corr = append(corr, dg.G.Edge(int(ei)).ID)
+			p := dg.G.Other(int(ei), v)
+			syndrome[p] = !syndrome[p]
+		}
+	}
+	// All remaining parity must sit on boundary vertices (absorbed) —
+	// anything else means the support violated the cluster invariant.
+	for v := 0; v < dg.NumReal; v++ {
+		if syndrome[v] {
+			return nil, fmt.Errorf("decoder: peeling left a live syndrome at vertex %d (support does not satisfy the cluster invariant)", v)
+		}
+	}
+	return corr, nil
+}

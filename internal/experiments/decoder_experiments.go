@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"surfnet/internal/decoder"
+	"surfnet/internal/rng"
+	"surfnet/internal/surfacecode"
+)
+
+// Fig8Config parameterizes the decoder threshold study of Fig. 8.
+type Fig8Config struct {
+	Seed uint64
+	// Trials is the Monte-Carlo sample count per (decoder, distance,
+	// rate) point.
+	Trials int
+	// Distances are the evaluated code distances; the paper uses
+	// 9, 11, 13, 15.
+	Distances []int
+	// PauliRates are the physical error rates; the paper sweeps
+	// 5.0% - 8.5%.
+	PauliRates []float64
+	// ErasureRate is held fixed; the paper uses 15%.
+	ErasureRate float64
+	// Decoders are the compared decoders; the paper compares the
+	// Union-Find baseline against the SurfNet Decoder.
+	Decoders []decoder.Decoder
+	// Layout selects the Core geometry.
+	Layout surfacecode.CoreLayout
+}
+
+// DefaultFig8Config returns the paper's Fig. 8 settings with an
+// interactively sized trial count.
+func DefaultFig8Config() Fig8Config {
+	return Fig8Config{
+		Seed:        1,
+		Trials:      300,
+		Distances:   []int{9, 11, 13, 15},
+		PauliRates:  []float64{0.050, 0.055, 0.060, 0.065, 0.070, 0.075, 0.080, 0.085},
+		ErasureRate: 0.15,
+		Decoders:    []decoder.Decoder{decoder.UnionFind{}, decoder.SurfNet{}},
+		Layout:      surfacecode.CoreLShape,
+	}
+}
+
+// Fig8Point is one point of a Fig. 8 curve.
+type Fig8Point struct {
+	Decoder     string
+	Distance    int
+	PauliRate   float64
+	LogicalRate float64
+	Trials      int
+}
+
+// Fig8 reproduces the threshold plots: for every decoder, distance and Pauli
+// rate, the logical error rate of the code under Pauli + erasure noise with
+// both rates halved on the Core part (§VI-B).
+func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("experiments: Fig8 trials %d < 1", cfg.Trials)
+	}
+	var points []Fig8Point
+	for _, dec := range cfg.Decoders {
+		for _, d := range cfg.Distances {
+			code, err := surfacecode.New(d, cfg.Layout)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: building d=%d code: %w", d, err)
+			}
+			for _, p := range cfg.PauliRates {
+				rate, err := logicalRate(code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, Fig8Point{
+					Decoder:     dec.Name(),
+					Distance:    d,
+					PauliRate:   p,
+					LogicalRate: rate,
+					Trials:      cfg.Trials,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// logicalRate Monte-Carlos the logical error rate of one configuration.
+func logicalRate(code *surfacecode.Code, dec decoder.Decoder, pauli, erasure float64, trials int, seed uint64) (float64, error) {
+	nm := surfacecode.UniformNoise(code, pauli, erasure)
+	probs := nm.EdgeErrorProb()
+	root := rng.New(seed).Split(fmt.Sprintf("fig8/%s/%d/%.4f", dec.Name(), code.Distance(), pauli))
+	fails := 0
+	for i := 0; i < trials; i++ {
+		frame, erased := nm.Sample(root.SplitN("t", i))
+		res, err := decoder.DecodeFrame(code, dec, frame, erased, probs)
+		if err != nil {
+			return 0, fmt.Errorf("experiments: decoding d=%d p=%v trial %d: %w",
+				code.Distance(), pauli, i, err)
+		}
+		if res.Failed() {
+			fails++
+		}
+	}
+	return float64(fails) / float64(trials), nil
+}
+
+// EstimateThreshold locates the error threshold of a decoder from its Fig. 8
+// points: the Pauli rate where the smallest-distance and largest-distance
+// curves cross (below threshold larger codes win; above they lose). It
+// returns NaN when the curves do not cross within the swept range.
+func EstimateThreshold(points []Fig8Point, decoderName string) float64 {
+	byDist := map[int][]Fig8Point{}
+	for _, pt := range points {
+		if pt.Decoder == decoderName {
+			byDist[pt.Distance] = append(byDist[pt.Distance], pt)
+		}
+	}
+	if len(byDist) < 2 {
+		return math.NaN()
+	}
+	var dists []int
+	for d := range byDist {
+		dists = append(dists, d)
+	}
+	sort.Ints(dists)
+	lo := byDist[dists[0]]
+	hi := byDist[dists[len(dists)-1]]
+	sort.Slice(lo, func(i, j int) bool { return lo[i].PauliRate < lo[j].PauliRate })
+	sort.Slice(hi, func(i, j int) bool { return hi[i].PauliRate < hi[j].PauliRate })
+	if len(lo) != len(hi) {
+		return math.NaN()
+	}
+	// diff(p) = rate_small(p) - rate_large(p): positive below threshold
+	// (the larger code has the lower logical rate), negative above. Find
+	// the sign change.
+	prev := lo[0].LogicalRate - hi[0].LogicalRate
+	for i := 1; i < len(lo); i++ {
+		cur := lo[i].LogicalRate - hi[i].LogicalRate
+		if prev > 0 && cur <= 0 {
+			// Linear interpolation between the two rates.
+			p0, p1 := lo[i-1].PauliRate, lo[i].PauliRate
+			if cur == prev {
+				return (p0 + p1) / 2
+			}
+			return p0 + (p1-p0)*(0-prev)/(cur-prev)
+		}
+		prev = cur
+	}
+	return math.NaN()
+}

@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§VI): the Raw-vs-SurfNet scenario tables and fidelity
+// plots of Fig. 6(a), the parameter sweeps of Fig. 6(b.1-4), the five-design
+// comparison of Fig. 7, and the decoder threshold study of Fig. 8. Each
+// entry point returns typed rows that the cmd tools and benchmarks print.
+package experiments
+
+import (
+	"fmt"
+
+	"surfnet/internal/core"
+	"surfnet/internal/metrics"
+	"surfnet/internal/network"
+	"surfnet/internal/rng"
+	"surfnet/internal/routing"
+	"surfnet/internal/topology"
+)
+
+// Config parameterizes the network experiments (Fig. 6 and Fig. 7).
+type Config struct {
+	// Seed roots all randomness; every cell derives labeled sub-streams.
+	Seed uint64
+	// Trials is the number of random networks evaluated per cell. The
+	// paper runs 1080 trials per design across its parameter grid; the
+	// default here is sized for interactive runs and can be raised.
+	Trials int
+	// Requests is the number of communication requests per trial.
+	Requests int
+	// MaxMessages caps surface codes per request (Fig. 6(b.3) sweeps it).
+	MaxMessages int
+	// UseLP selects the paper's LP-relaxation-with-rounding scheduler;
+	// false selects the pure greedy comparator.
+	UseLP bool
+	// Engine configures online execution (code, decoder, segments).
+	Engine core.Config
+}
+
+// DefaultConfig returns interactively sized experiment settings.
+func DefaultConfig() Config {
+	return Config{
+		Seed:        1,
+		Trials:      12,
+		Requests:    8,
+		MaxMessages: 3,
+		UseLP:       true,
+		Engine:      core.DefaultConfig(),
+	}
+}
+
+// Cell is the aggregated outcome of one experiment cell (a design in a
+// scenario under one parameter setting).
+type Cell struct {
+	Fidelity   metrics.Summary
+	Latency    metrics.Summary
+	Throughput metrics.Summary
+}
+
+// trialSpec pins one trial's full configuration.
+type trialSpec struct {
+	params   topology.Params
+	design   routing.Design
+	routing  routing.Params
+	requests int
+	maxMsgs  int
+}
+
+// runCell evaluates Trials random networks for one cell.
+func runCell(cfg Config, spec trialSpec, label string) (Cell, error) {
+	var cell Cell
+	root := rng.New(cfg.Seed).Split(label)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		src := root.SplitN("trial", trial)
+		net, err := topology.Generate(spec.params, src.Split("net"))
+		if err != nil {
+			return Cell{}, fmt.Errorf("experiments: generating network: %w", err)
+		}
+		reqs, err := topology.GenRequests(net, spec.requests, spec.maxMsgs, src.Split("reqs"))
+		if err != nil {
+			return Cell{}, fmt.Errorf("experiments: generating requests: %w", err)
+		}
+		sched, err := schedule(net, reqs, spec.routing, cfg.UseLP)
+		if err != nil {
+			return Cell{}, fmt.Errorf("experiments: scheduling %v: %w", spec.design, err)
+		}
+		cell.Throughput.Add(sched.Throughput())
+		if sched.AcceptedCodes() == 0 {
+			continue // no executions to measure
+		}
+		res, err := core.Run(net, sched, cfg.Engine, src.Split("run"))
+		if err != nil {
+			return Cell{}, fmt.Errorf("experiments: executing %v: %w", spec.design, err)
+		}
+		cell.Fidelity.Add(res.Fidelity())
+		cell.Latency.Add(res.MeanLatency())
+	}
+	return cell, nil
+}
+
+func schedule(net *network.Network, reqs []network.Request, p routing.Params, useLP bool) (routing.Schedule, error) {
+	if useLP {
+		return routing.ScheduleLP(net, reqs, p)
+	}
+	return routing.Greedy(net, reqs, p, nil, nil)
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"surfnet/internal/decoder"
+	"surfnet/internal/surfacecode"
+)
+
+// tinyConfig keeps test runs fast.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Trials = 2
+	cfg.Requests = 4
+	cfg.MaxMessages = 2
+	return cfg
+}
+
+func checkCell(t *testing.T, label string, c Cell) {
+	t.Helper()
+	if c.Throughput.N() == 0 {
+		t.Fatalf("%s: no throughput samples", label)
+	}
+	if v := c.Throughput.Mean(); v < 0 || v > 1 {
+		t.Fatalf("%s: throughput %v outside [0,1]", label, v)
+	}
+	if c.Fidelity.N() > 0 {
+		if v := c.Fidelity.Mean(); v < 0 || v > 1 {
+			t.Fatalf("%s: fidelity %v outside [0,1]", label, v)
+		}
+	}
+	if c.Latency.N() > 0 && c.Latency.Mean() < 0 {
+		t.Fatalf("%s: negative latency", label)
+	}
+}
+
+func TestFig6aSmoke(t *testing.T) {
+	rows, err := Fig6a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 scenarios x 2 designs
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		checkCell(t, r.Scenario+"/"+r.Design.String(), r.Cell)
+		seen[r.Scenario] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("scenarios covered: %v", seen)
+	}
+}
+
+func TestFig6bSweepsSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	b1, err := Fig6b1(cfg, []float64{0.5, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Fig6b2(cfg, []float64{0.5, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := Fig6b3(cfg, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := Fig6b4(cfg, []float64{0.5, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sweep := range [][]SweepPoint{b1, b2, b3, b4} {
+		if len(sweep) != 2 {
+			t.Fatalf("sweep has %d points, want 2", len(sweep))
+		}
+		for _, pt := range sweep {
+			checkCell(t, "sweep", pt.Cell)
+		}
+	}
+	// b4's X is the fidelity threshold 1/2^Wc, decreasing in Wc.
+	if b4[0].X <= b4[1].X {
+		t.Fatalf("fidelity threshold should decrease with Wc: %v vs %v", b4[0].X, b4[1].X)
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	rows, err := Fig7(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*len(Fig7Designs) {
+		t.Fatalf("rows = %d, want %d", len(rows), 4*len(Fig7Designs))
+	}
+	for _, r := range rows {
+		checkCell(t, r.Scenario+"/"+r.Design.String(), r.Cell)
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	cfg := DefaultFig8Config()
+	cfg.Trials = 20
+	cfg.Distances = []int{3, 5}
+	cfg.PauliRates = []float64{0.02, 0.10}
+	points, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 decoders x 2 distances x 2 rates.
+	if len(points) != 8 {
+		t.Fatalf("points = %d, want 8", len(points))
+	}
+	for _, pt := range points {
+		if pt.LogicalRate < 0 || pt.LogicalRate > 1 {
+			t.Fatalf("logical rate %v", pt.LogicalRate)
+		}
+		if pt.Trials != 20 {
+			t.Fatalf("trials = %d", pt.Trials)
+		}
+	}
+}
+
+func TestFig8RatesIncreaseWithNoise(t *testing.T) {
+	cfg := DefaultFig8Config()
+	cfg.Trials = 150
+	cfg.Distances = []int{5}
+	cfg.PauliRates = []float64{0.01, 0.12}
+	cfg.Decoders = []decoder.Decoder{decoder.SurfNet{}}
+	points, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].LogicalRate >= points[1].LogicalRate {
+		t.Fatalf("logical rate should rise with noise: %v vs %v",
+			points[0].LogicalRate, points[1].LogicalRate)
+	}
+}
+
+func TestEstimateThreshold(t *testing.T) {
+	// Synthetic curves crossing at p = 0.07: below it the large code is
+	// better, above it worse.
+	mk := func(d int, rates ...float64) []Fig8Point {
+		ps := []float64{0.06, 0.07, 0.08}
+		var out []Fig8Point
+		for i, r := range rates {
+			out = append(out, Fig8Point{Decoder: "x", Distance: d, PauliRate: ps[i], LogicalRate: r})
+		}
+		return out
+	}
+	points := append(mk(9, 0.10, 0.20, 0.30), mk(15, 0.05, 0.20, 0.45)...)
+	th := EstimateThreshold(points, "x")
+	if math.IsNaN(th) || math.Abs(th-0.07) > 1e-9 {
+		t.Fatalf("threshold = %v, want 0.07", th)
+	}
+	if !math.IsNaN(EstimateThreshold(points, "missing")) {
+		t.Fatal("unknown decoder should give NaN")
+	}
+	// Curves that never cross: NaN.
+	points = append(mk(9, 0.30, 0.40, 0.50), mk(15, 0.01, 0.02, 0.03)...)
+	if !math.IsNaN(EstimateThreshold(points, "x")) {
+		t.Fatal("non-crossing curves should give NaN")
+	}
+}
+
+func TestFig8Validation(t *testing.T) {
+	cfg := DefaultFig8Config()
+	cfg.Trials = 0
+	if _, err := Fig8(cfg); err == nil {
+		t.Fatal("zero trials should fail")
+	}
+	cfg = DefaultFig8Config()
+	cfg.Trials = 1
+	cfg.Distances = []int{1}
+	if _, err := Fig8(cfg); err == nil {
+		t.Fatal("invalid distance should fail")
+	}
+}
+
+func TestFig8UsesHalvedCoreRates(t *testing.T) {
+	// The noise model behind Fig. 8 must halve rates at the Core.
+	code := surfacecode.MustNew(9, surfacecode.CoreLShape)
+	nm := surfacecode.UniformNoise(code, 0.08, 0.15)
+	for q := 0; q < code.NumData(); q++ {
+		if code.IsCore(q) {
+			if nm.Pauli[q] != 0.04 || nm.Erase[q] != 0.075 {
+				t.Fatalf("core rates not halved: %v %v", nm.Pauli[q], nm.Erase[q])
+			}
+		}
+	}
+}

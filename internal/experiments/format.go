@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// FormatFig6a renders the Fig. 6(a) comparison as an aligned text table.
+func FormatFig6a(rows []Fig6aRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-10s %12s %12s %12s\n",
+		"scenario", "design", "throughput", "latency", "fidelity")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-10s %9.3f±%.2f %9.1f±%.1f %9.3f±%.2f\n",
+			r.Scenario, r.Design,
+			r.Cell.Throughput.Mean(), r.Cell.Throughput.CI95(),
+			r.Cell.Latency.Mean(), r.Cell.Latency.CI95(),
+			r.Cell.Fidelity.Mean(), r.Cell.Fidelity.CI95())
+	}
+	return b.String()
+}
+
+// FormatSweep renders a Fig. 6(b) sweep with a caller-supplied x label.
+func FormatSweep(xLabel string, points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %12s %12s %12s\n", xLabel, "throughput", "fidelity", "latency")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-18.3f %9.3f±%.2f %9.3f±%.2f %9.1f±%.1f\n",
+			p.X,
+			p.Cell.Throughput.Mean(), p.Cell.Throughput.CI95(),
+			p.Cell.Fidelity.Mean(), p.Cell.Fidelity.CI95(),
+			p.Cell.Latency.Mean(), p.Cell.Latency.CI95())
+	}
+	return b.String()
+}
+
+// FormatFig7 renders the five-design fidelity comparison grouped by
+// scenario.
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-16s %12s %12s\n", "scenario", "design", "fidelity", "throughput")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-16s %9.3f±%.2f %9.3f±%.2f\n",
+			r.Scenario, r.Design,
+			r.Cell.Fidelity.Mean(), r.Cell.Fidelity.CI95(),
+			r.Cell.Throughput.Mean(), r.Cell.Throughput.CI95())
+	}
+	return b.String()
+}
+
+// FormatFig8 renders the threshold study as one block per decoder: rows are
+// Pauli rates, columns are distances, plus the estimated threshold.
+func FormatFig8(points []Fig8Point) string {
+	byDecoder := map[string][]Fig8Point{}
+	var names []string
+	for _, p := range points {
+		if _, ok := byDecoder[p.Decoder]; !ok {
+			names = append(names, p.Decoder)
+		}
+		byDecoder[p.Decoder] = append(byDecoder[p.Decoder], p)
+	}
+	var b strings.Builder
+	for _, name := range names {
+		pts := byDecoder[name]
+		distSet := map[int]bool{}
+		rateSet := map[float64]bool{}
+		rate := map[[2]float64]float64{}
+		for _, p := range pts {
+			distSet[p.Distance] = true
+			rateSet[p.PauliRate] = true
+			rate[[2]float64{float64(p.Distance), p.PauliRate}] = p.LogicalRate
+		}
+		var dists []int
+		for d := range distSet {
+			dists = append(dists, d)
+		}
+		sort.Ints(dists)
+		var rates []float64
+		for r := range rateSet {
+			rates = append(rates, r)
+		}
+		sort.Float64s(rates)
+		fmt.Fprintf(&b, "decoder: %s\n%-8s", name, "pauli")
+		for _, d := range dists {
+			fmt.Fprintf(&b, " %8s", fmt.Sprintf("d=%d", d))
+		}
+		b.WriteByte('\n')
+		for _, r := range rates {
+			fmt.Fprintf(&b, "%-8.4f", r)
+			for _, d := range dists {
+				fmt.Fprintf(&b, " %8.4f", rate[[2]float64{float64(d), r}])
+			}
+			b.WriteByte('\n')
+		}
+		th := EstimateThreshold(points, name)
+		if math.IsNaN(th) {
+			fmt.Fprintf(&b, "threshold: not bracketed by the swept range\n\n")
+		} else {
+			fmt.Fprintf(&b, "threshold: %.4f\n\n", th)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n"
+}

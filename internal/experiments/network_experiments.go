@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"surfnet/internal/routing"
+	"surfnet/internal/topology"
+)
+
+// Fig6aRow is one cell of Fig. 6(a): a design in a facility scenario, with
+// the three evaluation metrics of §VI-C.
+type Fig6aRow struct {
+	Scenario string
+	Design   routing.Design
+	Cell     Cell
+}
+
+// Fig6a reproduces the Fig. 6(a) tables and fidelity plots: Raw vs SurfNet
+// across the abundant/sufficient/insufficient facility scenarios (good
+// connections).
+func Fig6a(cfg Config) ([]Fig6aRow, error) {
+	var rows []Fig6aRow
+	for _, fac := range []topology.Facilities{topology.Abundant, topology.Sufficient, topology.Insufficient} {
+		for _, design := range []routing.Design{routing.Raw, routing.SurfNet} {
+			spec := trialSpec{
+				params:   topology.DefaultParams(fac, topology.GoodConnection),
+				design:   design,
+				routing:  routing.DefaultParams(design),
+				requests: cfg.Requests,
+				maxMsgs:  cfg.MaxMessages,
+			}
+			cell, err := runCell(cfg, spec, fmt.Sprintf("fig6a/%s/%s", fac.Name, design))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig6aRow{Scenario: fac.Name, Design: design, Cell: cell})
+		}
+	}
+	return rows, nil
+}
+
+// SweepPoint is one x-value of a Fig. 6(b) parameter sweep with the two
+// plotted metrics.
+type SweepPoint struct {
+	X    float64
+	Cell Cell
+}
+
+// Fig6b1 sweeps facility capacity (Fig. 6(b.1)): switch/server storage is
+// scaled by each factor on the sufficient scenario.
+func Fig6b1(cfg Config, factors []float64) ([]SweepPoint, error) {
+	if factors == nil {
+		factors = []float64{0.4, 0.7, 1.0, 1.3, 1.6}
+	}
+	var points []SweepPoint
+	for _, f := range factors {
+		fac := topology.Sufficient
+		fac.SwitchCapacity = int(float64(fac.SwitchCapacity) * f)
+		spec := trialSpec{
+			params:   topology.DefaultParams(fac, topology.GoodConnection),
+			design:   routing.SurfNet,
+			routing:  routing.DefaultParams(routing.SurfNet),
+			requests: cfg.Requests,
+			maxMsgs:  cfg.MaxMessages,
+		}
+		cell, err := runCell(cfg, spec, fmt.Sprintf("fig6b1/%.2f", f))
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: f, Cell: cell})
+	}
+	return points, nil
+}
+
+// Fig6b2 sweeps the entanglement generation rate (Fig. 6(b.2)): both the
+// prepared-pair budget and the per-slot generation probability scale with
+// each factor.
+func Fig6b2(cfg Config, factors []float64) ([]SweepPoint, error) {
+	if factors == nil {
+		factors = []float64{0.4, 0.7, 1.0, 1.3, 1.6}
+	}
+	var points []SweepPoint
+	for _, f := range factors {
+		fac := topology.Sufficient
+		fac.EntPairs = int(float64(fac.EntPairs) * f)
+		fac.EntRate = math.Min(0.95, fac.EntRate*f)
+		spec := trialSpec{
+			params:   topology.DefaultParams(fac, topology.GoodConnection),
+			design:   routing.SurfNet,
+			routing:  routing.DefaultParams(routing.SurfNet),
+			requests: cfg.Requests,
+			maxMsgs:  cfg.MaxMessages,
+		}
+		cell, err := runCell(cfg, spec, fmt.Sprintf("fig6b2/%.2f", f))
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: f, Cell: cell})
+	}
+	return points, nil
+}
+
+// Fig6b3 sweeps messages per request (Fig. 6(b.3)).
+func Fig6b3(cfg Config, messages []int) ([]SweepPoint, error) {
+	if messages == nil {
+		messages = []int{1, 2, 3, 4, 5, 6}
+	}
+	var points []SweepPoint
+	for _, m := range messages {
+		spec := trialSpec{
+			params:   topology.DefaultParams(topology.Sufficient, topology.GoodConnection),
+			design:   routing.SurfNet,
+			routing:  routing.DefaultParams(routing.SurfNet),
+			requests: cfg.Requests,
+			maxMsgs:  m,
+		}
+		cell, err := runCell(cfg, spec, fmt.Sprintf("fig6b3/%d", m))
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: float64(m), Cell: cell})
+	}
+	return points, nil
+}
+
+// Fig6b4 sweeps the routing fidelity threshold 1/2^Wc (Fig. 6(b.4)). Higher
+// thresholds are more selective: lower throughput, higher fidelity. The
+// whole-code threshold W tracks Wc at a fixed offset.
+func Fig6b4(cfg Config, coreThresholds []float64) ([]SweepPoint, error) {
+	if coreThresholds == nil {
+		coreThresholds = []float64{0.4, 0.7, 1.0, 1.4, 1.8, 2.2}
+	}
+	var points []SweepPoint
+	for _, wc := range coreThresholds {
+		p := routing.DefaultParams(routing.SurfNet)
+		p.CoreThreshold = wc
+		p.TotalThreshold = wc + 0.2
+		spec := trialSpec{
+			params:   topology.DefaultParams(topology.Sufficient, topology.GoodConnection),
+			design:   routing.SurfNet,
+			routing:  p,
+			requests: cfg.Requests,
+			maxMsgs:  cfg.MaxMessages,
+		}
+		cell, err := runCell(cfg, spec, fmt.Sprintf("fig6b4/%.2f", wc))
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{X: p.FidelityThreshold(), Cell: cell})
+	}
+	return points, nil
+}
+
+// Fig7Row is one bar of Fig. 7: a design's average communication fidelity in
+// one of the four scenarios.
+type Fig7Row struct {
+	Scenario string
+	Design   routing.Design
+	Cell     Cell
+}
+
+// Fig7Designs lists the five compared designs in paper order.
+var Fig7Designs = []routing.Design{
+	routing.SurfNet,
+	routing.Raw,
+	routing.Purification1,
+	routing.Purification2,
+	routing.Purification9,
+}
+
+// Fig7 reproduces the overall comparison: five designs across four scenarios
+// (abundant/limited facilities x good/poor connections), reporting average
+// communication fidelity.
+func Fig7(cfg Config) ([]Fig7Row, error) {
+	type scenario struct {
+		name string
+		fac  topology.Facilities
+		fr   topology.FidelityRange
+	}
+	scenarios := []scenario{
+		{"abundant-good", topology.Abundant, topology.GoodConnection},
+		{"abundant-poor", topology.Abundant, topology.PoorConnection},
+		{"limited-good", topology.Insufficient, topology.GoodConnection},
+		{"limited-poor", topology.Insufficient, topology.PoorConnection},
+	}
+	var rows []Fig7Row
+	for _, sc := range scenarios {
+		for _, design := range Fig7Designs {
+			// The paper configures "the routing protocols in all
+			// networks to yield similar throughputs" (§VI-C); with
+			// per-message consumption of 1+N pairs per fiber the
+			// purification baselines already land near the SurfNet
+			// budget (n = 7 Core teleports per code).
+			spec := trialSpec{
+				params:   topology.DefaultParams(sc.fac, sc.fr),
+				design:   design,
+				routing:  routing.DefaultParams(design),
+				requests: cfg.Requests,
+				maxMsgs:  cfg.MaxMessages,
+			}
+			cell, err := runCell(cfg, spec, fmt.Sprintf("fig7/%s/%s", sc.name, design))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig7Row{Scenario: sc.name, Design: design, Cell: cell})
+		}
+	}
+	return rows, nil
+}

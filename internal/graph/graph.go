@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Edge is an undirected weighted edge between vertices U and V. ID is the
+// caller's identifier for the edge (decoders use it to map edges back to data
+// qubits; routing uses it to map back to optical fibers).
+type Edge struct {
+	ID     int
+	U, V   int
+	Weight float64
+}
+
+// Weighted is an undirected weighted multigraph with a fixed vertex count.
+// Vertices are dense integers [0, N). It is the shared representation for
+// decoding graphs and network topologies.
+type Weighted struct {
+	n     int
+	edges []Edge
+	adj   [][]int32 // vertex -> indices into edges
+}
+
+// NewWeighted returns an empty graph over n vertices.
+func NewWeighted(n int) *Weighted {
+	return &Weighted{
+		n:   n,
+		adj: make([][]int32, n),
+	}
+}
+
+// NumVertices reports the vertex count.
+func (g *Weighted) NumVertices() int { return g.n }
+
+// NumEdges reports the edge count.
+func (g *Weighted) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts an undirected edge and returns its dense index within the
+// graph (not the caller-supplied ID). Self-loops are rejected because neither
+// decoding graphs nor optical-fiber topologies contain them.
+func (g *Weighted) AddEdge(e Edge) int {
+	if e.U < 0 || e.U >= g.n || e.V < 0 || e.V >= g.n {
+		panic(fmt.Sprintf("graph: edge endpoints (%d, %d) out of range [0, %d)", e.U, e.V, g.n))
+	}
+	if e.U == e.V {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", e.U))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, e)
+	g.adj[e.U] = append(g.adj[e.U], int32(idx))
+	g.adj[e.V] = append(g.adj[e.V], int32(idx))
+	return idx
+}
+
+// Edge returns the edge at dense index i.
+func (g *Weighted) Edge(i int) Edge { return g.edges[i] }
+
+// SetWeight updates the weight of the edge at dense index i.
+func (g *Weighted) SetWeight(i int, w float64) { g.edges[i].Weight = w }
+
+// Incident returns the dense edge indices incident to vertex v. The returned
+// slice is owned by the graph and must not be mutated.
+func (g *Weighted) Incident(v int) []int32 { return g.adj[v] }
+
+// Degree reports the number of edges incident to v.
+func (g *Weighted) Degree(v int) int { return len(g.adj[v]) }
+
+// Other returns the endpoint of edge index i that is not v.
+func (g *Weighted) Other(i, v int) int {
+	e := g.edges[i]
+	if e.U == v {
+		return e.V
+	}
+	return e.U
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// ShortestPaths holds single-source Dijkstra results: Dist[v] is the minimum
+// weight from the source, and PrevEdge[v] is the dense index of the edge used
+// to reach v (-1 at the source and at unreachable vertices).
+type ShortestPaths struct {
+	Source   int
+	Dist     []float64
+	PrevEdge []int32
+}
+
+// Dijkstra computes shortest paths from src over non-negative edge weights.
+func (g *Weighted) Dijkstra(src int) *ShortestPaths {
+	sp := &ShortestPaths{
+		Source:   src,
+		Dist:     make([]float64, g.n),
+		PrevEdge: make([]int32, g.n),
+	}
+	for i := range sp.Dist {
+		sp.Dist[i] = math.Inf(1)
+		sp.PrevEdge[i] = -1
+	}
+	sp.Dist[src] = 0
+	q := pq{{v: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > sp.Dist[it.v] {
+			continue // stale entry
+		}
+		for _, ei := range g.adj[it.v] {
+			e := g.edges[ei]
+			w := it.dist + e.Weight
+			u := e.V
+			if u == it.v {
+				u = e.U
+			}
+			if w < sp.Dist[u] {
+				sp.Dist[u] = w
+				sp.PrevEdge[u] = ei
+				heap.Push(&q, pqItem{v: u, dist: w})
+			}
+		}
+	}
+	return sp
+}
+
+// PathTo reconstructs the dense edge indices of the shortest path from the
+// source to dst, in order from source to dst. It returns nil when dst is
+// unreachable and an empty slice when dst is the source.
+func (sp *ShortestPaths) PathTo(g *Weighted, dst int) []int {
+	if math.IsInf(sp.Dist[dst], 1) {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != sp.Source; {
+		ei := sp.PrevEdge[v]
+		rev = append(rev, int(ei))
+		v = g.Other(int(ei), v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if rev == nil {
+		rev = []int{}
+	}
+	return rev
+}
+
+// SpanningForest returns, for the subgraph induced by the given dense edge
+// indices, a subset of those indices forming a spanning forest (one spanning
+// tree per connected component). Used by the peeling decoder.
+func (g *Weighted) SpanningForest(edgeIdx []int) []int {
+	uf := NewUnionFind(g.n)
+	var forest []int
+	for _, ei := range edgeIdx {
+		e := g.edges[ei]
+		if _, merged := uf.Union(e.U, e.V); merged {
+			forest = append(forest, ei)
+		}
+	}
+	return forest
+}
+
+// ConnectedComponents labels every vertex with a component id in [0, k) and
+// returns the labels and k, considering only the given edges. Vertices
+// untouched by any edge form singleton components.
+func (g *Weighted) ConnectedComponents(edgeIdx []int) (labels []int, k int) {
+	uf := NewUnionFind(g.n)
+	for _, ei := range edgeIdx {
+		e := g.edges[ei]
+		uf.Union(e.U, e.V)
+	}
+	labels = make([]int, g.n)
+	next := 0
+	remap := make(map[int]int, g.n)
+	for v := 0; v < g.n; v++ {
+		r := uf.Find(v)
+		id, ok := remap[r]
+		if !ok {
+			id = next
+			next++
+			remap[r] = id
+		}
+		labels[v] = id
+	}
+	return labels, next
+}

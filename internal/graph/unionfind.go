@@ -1,0 +1,69 @@
+// Package graph provides the graph primitives shared by the decoders and the
+// routing layer: a weighted union-find, Dijkstra shortest paths on weighted
+// adjacency structures, and spanning forests.
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path compression.
+// Find and Union run in amortized O(alpha(n)) time, which is what gives the
+// Union-Find and SurfNet decoders their near-linear complexity (Theorem 2).
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int
+}
+
+// NewUnionFind returns a structure over n singleton elements.
+func NewUnionFind(n int) *UnionFind {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	return &UnionFind{
+		parent: parent,
+		rank:   make([]int8, n),
+		count:  n,
+	}
+}
+
+// Len reports the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Count reports the number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	root := int32(x)
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	// Path compression.
+	for int32(x) != root {
+		next := u.parent[x]
+		u.parent[x] = root
+		x = int(next)
+	}
+	return int(root)
+}
+
+// Union merges the sets containing a and b and returns the representative of
+// the merged set. It reports whether a merge happened (false when a and b
+// were already in the same set).
+func (u *UnionFind) Union(a, b int) (root int, merged bool) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra, false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.count--
+	return ra, true
+}
+
+// Same reports whether a and b belong to the same set.
+func (u *UnionFind) Same(a, b int) bool { return u.Find(a) == u.Find(b) }

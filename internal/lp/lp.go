@@ -1,0 +1,418 @@
+// Package lp provides a self-contained linear-programming solver: a dense
+// two-phase primal simplex with Bland anti-cycling.
+//
+// The routing protocol of §V formulates scheduling as an integer program and
+// evaluates "a relaxed Linear Programming version with rounding"; this solver
+// is the substrate for that relaxation. Problems are stated over non-negative
+// variables with sparse <=, =, >= constraints and a linear objective.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int
+
+// Constraint senses.
+const (
+	LessEq Sense = 1 + iota
+	Equal
+	GreaterEq
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LessEq:
+		return "<="
+	case Equal:
+		return "="
+	case GreaterEq:
+		return ">="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Term is one coefficient of a sparse constraint row.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// Constraint is a sparse linear constraint sum(Coeff_i * x_i) Sense RHS.
+type Constraint struct {
+	Terms []Term
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	numVars     int
+	objective   []float64
+	maximize    bool
+	constraints []Constraint
+}
+
+// NewMaximize returns a maximization problem over n non-negative variables
+// with zero objective coefficients.
+func NewMaximize(n int) *Problem {
+	return &Problem{numVars: n, objective: make([]float64, n), maximize: true}
+}
+
+// NewMinimize returns a minimization problem over n non-negative variables.
+func NewMinimize(n int) *Problem {
+	return &Problem{numVars: n, objective: make([]float64, n)}
+}
+
+// NumVars reports the variable count.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints reports the constraint count.
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// SetObjective sets the objective coefficient of variable v.
+func (p *Problem) SetObjective(v int, c float64) {
+	p.objective[v] = c
+}
+
+// AddConstraint appends a constraint; it returns an error when a term
+// references an unknown variable or a coefficient is not finite.
+func (p *Problem) AddConstraint(c Constraint) error {
+	for _, t := range c.Terms {
+		if t.Var < 0 || t.Var >= p.numVars {
+			return fmt.Errorf("lp: constraint references variable %d outside [0,%d)", t.Var, p.numVars)
+		}
+		if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) {
+			return fmt.Errorf("lp: non-finite coefficient %v on variable %d", t.Coeff, t.Var)
+		}
+	}
+	if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+		return fmt.Errorf("lp: non-finite RHS %v", c.RHS)
+	}
+	switch c.Sense {
+	case LessEq, Equal, GreaterEq:
+	default:
+		return fmt.Errorf("lp: invalid sense %v", c.Sense)
+	}
+	p.constraints = append(p.constraints, c)
+	return nil
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = 1 + iota
+	Infeasible
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+// Solver errors.
+var (
+	// ErrIterationLimit is returned when simplex exceeds its pivot budget.
+	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+)
+
+const (
+	eps          = 1e-9
+	enterEps     = 1e-7 // reduced-cost threshold for entering columns
+	blandTrigger = 1500 // degenerate pivots before switching to Bland's rule
+	refreshEvery = 256  // pivots between exact reduced-cost recomputations
+)
+
+// Solve runs two-phase primal simplex. An Infeasible or Unbounded status is
+// reported in the Solution, not as an error; errors indicate solver failure.
+func (p *Problem) Solve() (Solution, error) {
+	m := len(p.constraints)
+	n := p.numVars
+	// Column layout: [structural | slack/surplus | artificial], built row
+	// by row with b >= 0.
+	type rowInfo struct {
+		coeffs []float64
+		rhs    float64
+		sense  Sense
+	}
+	rows := make([]rowInfo, m)
+	for i, c := range p.constraints {
+		r := rowInfo{coeffs: make([]float64, n), rhs: c.RHS, sense: c.Sense}
+		for _, t := range c.Terms {
+			r.coeffs[t.Var] += t.Coeff
+		}
+		if r.rhs < 0 {
+			for j := range r.coeffs {
+				r.coeffs[j] = -r.coeffs[j]
+			}
+			r.rhs = -r.rhs
+			switch r.sense {
+			case LessEq:
+				r.sense = GreaterEq
+			case GreaterEq:
+				r.sense = LessEq
+			}
+		}
+		rows[i] = r
+	}
+	// Count slack and artificial columns.
+	nSlack, nArt := 0, 0
+	for _, r := range rows {
+		switch r.sense {
+		case LessEq:
+			nSlack++
+		case GreaterEq:
+			nSlack++
+			nArt++
+		case Equal:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Tableau: m rows x (total+1) columns, last column RHS.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol, artCol := n, n+nSlack
+	artStart := n + nSlack
+	for i, r := range rows {
+		t[i] = make([]float64, total+1)
+		copy(t[i], r.coeffs)
+		t[i][total] = r.rhs
+		switch r.sense {
+		case LessEq:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GreaterEq:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case Equal:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+	}
+
+	s := &simplex{t: t, basis: basis, total: total}
+	// Phase 1: minimize the sum of artificial variables.
+	if nArt > 0 {
+		obj := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			obj[j] = -1 // maximize -(sum of artificials)
+		}
+		val, err := s.optimize(obj, artStart)
+		if err != nil {
+			return Solution{}, fmt.Errorf("phase 1: %w", err)
+		}
+		if val < -1e-6 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial still in the basis out (degenerate rows)
+		// or drop the row if it is all zeros.
+		for i := 0; i < m; i++ {
+			if s.basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(s.t[i][j]) > eps {
+					s.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; zero it so it never constrains.
+				for j := range s.t[i] {
+					s.t[i][j] = 0
+				}
+			}
+		}
+	}
+	// Phase 2: real objective over structural columns only. Artificials
+	// are frozen at zero by restricting entering columns below artStart.
+	obj := make([]float64, total)
+	for j := 0; j < n; j++ {
+		if p.maximize {
+			obj[j] = p.objective[j]
+		} else {
+			obj[j] = -p.objective[j]
+		}
+	}
+	val, err := s.optimize(obj, artStart)
+	if err != nil {
+		if errors.Is(err, errUnbounded) {
+			return Solution{Status: Unbounded}, nil
+		}
+		return Solution{}, fmt.Errorf("phase 2: %w", err)
+	}
+	x := make([]float64, n)
+	for i, b := range s.basis {
+		if b < n {
+			x[b] = s.t[i][total]
+		}
+	}
+	if !p.maximize {
+		val = -val
+	}
+	return Solution{Status: Optimal, X: x, Objective: val}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// simplex is the shared tableau state across the two phases.
+type simplex struct {
+	t     [][]float64
+	basis []int
+	total int
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func (s *simplex) pivot(row, col int) {
+	pr := s.t[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := range s.t {
+		if i == row {
+			continue
+		}
+		f := s.t[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := s.t[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0 // exact
+	}
+	s.basis[row] = col
+}
+
+// optimize maximizes obj over the current basis, entering only columns below
+// colLimit. It returns the achieved objective value.
+func (s *simplex) optimize(obj []float64, colLimit int) (float64, error) {
+	m := len(s.t)
+	total := s.total
+	// Reduced costs are computed directly: z_j - c_j = sum over basis of
+	// c_B * t[., j] - c_j. Maintain them incrementally via an explicit
+	// objective row for efficiency.
+	z := make([]float64, total+1)
+	refresh := func() {
+		for j := 0; j <= total; j++ {
+			var v float64
+			if j < total {
+				v = -objAt(obj, j)
+			}
+			for i := 0; i < m; i++ {
+				v += objAt(obj, s.basis[i]) * s.t[i][j]
+			}
+			z[j] = v
+		}
+	}
+	refresh()
+	degenerate := 0
+	maxIters := 30*(m+total) + 10000
+	for iter := 0; iter < maxIters; iter++ {
+		if iter > 0 && iter%refreshEvery == 0 {
+			// Incremental updates drift; periodically recompute the
+			// reduced costs exactly so tiny phantom negatives cannot
+			// sustain degenerate cycling.
+			refresh()
+		}
+		// Entering column.
+		col := -1
+		if degenerate < blandTrigger {
+			best := -enterEps
+			for j := 0; j < colLimit; j++ {
+				if z[j] < best {
+					best = z[j]
+					col = j
+				}
+			}
+		} else {
+			for j := 0; j < colLimit; j++ { // Bland: smallest index
+				if z[j] < -enterEps {
+					col = j
+					break
+				}
+			}
+		}
+		if col < 0 {
+			return z[total], nil // optimal
+		}
+		// Ratio test.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := s.t[i][col]
+			if a <= eps {
+				continue
+			}
+			ratio := s.t[i][total] / a
+			if ratio < bestRatio-eps ||
+				(ratio < bestRatio+eps && (row < 0 || s.basis[i] < s.basis[row])) {
+				bestRatio = ratio
+				row = i
+			}
+		}
+		if row < 0 {
+			return 0, errUnbounded
+		}
+		if bestRatio < eps {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		s.pivot(row, col)
+		// Update the reduced-cost row like any other row.
+		f := z[col]
+		if f != 0 {
+			pr := s.t[row]
+			for j := 0; j <= total; j++ {
+				z[j] -= f * pr[j]
+			}
+			z[col] = 0
+		}
+	}
+	return 0, ErrIterationLimit
+}
+
+// objAt treats obj as padded with zeros beyond its length.
+func objAt(obj []float64, j int) float64 {
+	if j < len(obj) {
+		return obj[j]
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+// Package metrics provides the summary statistics used by the experiment
+// harness: streaming mean/variance accumulation and normal-approximation
+// confidence intervals over trial results.
+package metrics
+
+import "math"
+
+// Summary accumulates scalar observations with Welford's online algorithm.
+// The zero value is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N reports the observation count.
+func (s *Summary) N() int { return s.n }
+
+// Mean reports the sample mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance reports the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr reports the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 reports the half-width of the normal-approximation 95% confidence
+// interval around the mean.
+func (s *Summary) CI95() float64 { return 1.96 * s.StdErr() }
+
+// Merge folds another summary into s.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := float64(s.n + o.n)
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/n
+	s.mean += delta * float64(o.n) / n
+	s.n += o.n
+}

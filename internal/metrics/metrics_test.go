@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"surfnet/internal/rng"
+)
+
+func TestEmptySummary(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Variance() != 0 {
+		t.Fatal("single observation: mean only")
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	src := rng.New(9)
+	var whole, a, b Summary
+	for i := 0; i < 500; i++ {
+		x := src.Range(-5, 10)
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged n = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v != %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-9 {
+		t.Fatalf("merged variance %v != %v", a.Variance(), whole.Variance())
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Fatal("merging empty changed the summary")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Mean() != 2 || b.N() != 2 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestCIShrinksWithSamples(t *testing.T) {
+	src := rng.New(10)
+	var small, large Summary
+	for i := 0; i < 20; i++ {
+		small.Add(src.Float64())
+	}
+	for i := 0; i < 2000; i++ {
+		large.Add(src.Float64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+	// Uniform[0,1): mean ~0.5, stddev ~0.289.
+	if math.Abs(large.Mean()-0.5) > 0.03 || math.Abs(large.StdDev()-0.2887) > 0.03 {
+		t.Fatalf("uniform stats off: mean %v std %v", large.Mean(), large.StdDev())
+	}
+}

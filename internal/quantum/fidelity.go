@@ -1,0 +1,126 @@
+package quantum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrFidelityRange is returned when a fidelity argument falls outside [0, 1].
+var ErrFidelityRange = errors.New("quantum: fidelity outside [0, 1]")
+
+// ErasureFidelity is the estimated fidelity of an erased data qubit. The
+// paper substitutes each erased qubit with a maximally mixed state (uniform
+// {I, X, Y, Z}), so its estimated fidelity equals 0.5 (§IV-C).
+const ErasureFidelity = 0.5
+
+// CheckFidelity validates that g lies in [0, 1].
+func CheckFidelity(g float64) error {
+	if math.IsNaN(g) || g < 0 || g > 1 {
+		return fmt.Errorf("%w: %v", ErrFidelityRange, g)
+	}
+	return nil
+}
+
+// PathFidelity returns the estimated fidelity of a qubit that traversed the
+// given sequence of optical fibers: rho = prod_i gamma_i (§IV-C).
+func PathFidelity(gammas []float64) float64 {
+	rho := 1.0
+	for _, g := range gammas {
+		rho *= g
+	}
+	return rho
+}
+
+// Purify returns the estimated fidelity after one round of entanglement
+// purification consuming two pairs of fidelity rho1 and rho2:
+//
+//	rho' = rho1*rho2 / (rho1*rho2 + (1-rho1)*(1-rho2))
+//
+// (§IV-C, citing Li et al. [11]). The formula is symmetric and maps two
+// better-than-half pairs to a pair better than either input.
+func Purify(rho1, rho2 float64) float64 {
+	num := rho1 * rho2
+	den := num + (1-rho1)*(1-rho2)
+	if den == 0 {
+		// Both inputs were exactly 0 and 1 in some combination that
+		// annihilates the denominator; the only real case is
+		// rho1+rho2 == 1 with product 0, where purification carries no
+		// information. Return the maximally mixed estimate.
+		return 0.5
+	}
+	return num / den
+}
+
+// PurifyN applies N successive purification rounds, each consuming one
+// additional pair of the same raw fidelity rho. This models the paper's
+// "Purification N=1,2,9" baselines, where N counts the extra pairs consumed
+// per optical fiber (§VI-B).
+func PurifyN(rho float64, n int) float64 {
+	out := rho
+	for i := 0; i < n; i++ {
+		out = Purify(out, rho)
+	}
+	return out
+}
+
+// Noise converts an optical-fiber fidelity gamma into its additive noise
+// mu = log2(1/gamma) (§V-A). Summing noises along a path is equivalent to
+// multiplying fidelities; lower is better.
+func Noise(gamma float64) float64 {
+	if gamma <= 0 {
+		return math.Inf(1)
+	}
+	return math.Log2(1 / gamma)
+}
+
+// FidelityFromNoise inverts Noise: gamma = 2^(-mu).
+func FidelityFromNoise(mu float64) float64 {
+	return math.Pow(2, -mu)
+}
+
+// FlipProb converts a channel fidelity gamma into the per-decoding-graph
+// flip probability of the corresponding depolarizing (Werner) channel: the
+// infidelity 1-gamma spreads uniformly over the three Pauli errors, two of
+// which are visible on each graph, so p = 2(1-gamma)/3.
+func FlipProb(gamma float64) float64 {
+	p := 2 * (1 - gamma) / 3
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// EdgeWeight computes the decoding-graph weight of a data qubit with
+// estimated fidelity rho: w = -ln(1 - rho) (§IV-C). Higher-fidelity qubits
+// receive larger weights, making decoders reluctant to route corrections
+// through them.
+func EdgeWeight(rho float64) float64 {
+	p := 1 - rho
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	if p >= 1 {
+		return 0
+	}
+	return -math.Log(p)
+}
+
+// GrowthSpeed computes the SurfNet Decoder cluster growth speed for a data
+// qubit with estimated fidelity rho and decoder step size r:
+// speed = -r / ln(1 - rho) = r / EdgeWeight(rho), measured in edge units per
+// growth round (§IV-C, Algorithm 2). Erased qubits use rho = 0.5 and grow
+// fastest.
+func GrowthSpeed(rho, r float64) float64 {
+	w := EdgeWeight(rho)
+	if math.IsInf(w, 1) {
+		return 0
+	}
+	if w == 0 {
+		return math.Inf(1)
+	}
+	return r / w
+}

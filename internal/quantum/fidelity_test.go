@@ -1,0 +1,170 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPathFidelity(t *testing.T) {
+	tests := []struct {
+		gammas []float64
+		want   float64
+	}{
+		{nil, 1},
+		{[]float64{0.9}, 0.9},
+		{[]float64{0.9, 0.8}, 0.72},
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{0.5, 0.5}, 0.25},
+	}
+	for _, tt := range tests {
+		if got := PathFidelity(tt.gammas); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("PathFidelity(%v) = %v, want %v", tt.gammas, got, tt.want)
+		}
+	}
+}
+
+func TestPurifyKnownValues(t *testing.T) {
+	// rho1 = rho2 = 0.9: 0.81 / (0.81 + 0.01) = 81/82.
+	if got := Purify(0.9, 0.9); !almostEqual(got, 81.0/82.0, 1e-12) {
+		t.Errorf("Purify(0.9, 0.9) = %v, want %v", got, 81.0/82.0)
+	}
+	// Purifying with a perfect pair yields a perfect pair.
+	if got := Purify(0.7, 1.0); !almostEqual(got, 1.0, 1e-12) {
+		t.Errorf("Purify(0.7, 1) = %v, want 1", got)
+	}
+	// Maximally mixed inputs stay maximally mixed.
+	if got := Purify(0.5, 0.5); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Purify(0.5, 0.5) = %v, want 0.5", got)
+	}
+	// Degenerate denominator falls back to 0.5.
+	if got := Purify(0, 1); got != 0.5 {
+		t.Errorf("Purify(0, 1) = %v, want 0.5", got)
+	}
+}
+
+func TestPurifyImproves(t *testing.T) {
+	// For both inputs above 1/2, the output exceeds the larger input's
+	// complement-weighted mean; in particular it exceeds min(rho1, rho2)
+	// and, for equal inputs, exceeds the input itself.
+	check := func(a, b float64) bool {
+		r1 := 0.5 + 0.5*math.Abs(math.Mod(a, 1))
+		r2 := 0.5 + 0.5*math.Abs(math.Mod(b, 1))
+		out := Purify(r1, r2)
+		return out >= math.Min(r1, r2)-1e-12 && out <= 1+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+	if Purify(0.8, 0.8) <= 0.8 {
+		t.Error("equal-input purification above 0.5 should strictly improve")
+	}
+}
+
+func TestPurifySymmetric(t *testing.T) {
+	check := func(a, b float64) bool {
+		r1 := math.Abs(math.Mod(a, 1))
+		r2 := math.Abs(math.Mod(b, 1))
+		return almostEqual(Purify(r1, r2), Purify(r2, r1), 1e-12)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPurifyNMonotone(t *testing.T) {
+	prev := 0.75
+	for n := 1; n <= 9; n++ {
+		got := PurifyN(0.75, n)
+		if got < prev {
+			t.Fatalf("PurifyN(0.75, %d) = %v decreased from %v", n, got, prev)
+		}
+		prev = got
+	}
+	if PurifyN(0.75, 0) != 0.75 {
+		t.Error("PurifyN with n=0 should be the identity")
+	}
+	// N=9 purification of a mediocre pair should be near-perfect.
+	if PurifyN(0.75, 9) < 0.999 {
+		t.Errorf("PurifyN(0.75, 9) = %v, want > 0.999", PurifyN(0.75, 9))
+	}
+}
+
+func TestNoiseRoundTrip(t *testing.T) {
+	for _, g := range []float64{1, 0.99, 0.9, 0.75, 0.5, 0.1} {
+		mu := Noise(g)
+		if back := FidelityFromNoise(mu); !almostEqual(back, g, 1e-12) {
+			t.Errorf("round trip of gamma=%v gave %v", g, back)
+		}
+	}
+	if Noise(1) != 0 {
+		t.Error("Noise(1) should be 0")
+	}
+	if !math.IsInf(Noise(0), 1) {
+		t.Error("Noise(0) should be +Inf")
+	}
+}
+
+func TestNoiseAdditivity(t *testing.T) {
+	// Summing noises along a path equals the noise of the product fidelity.
+	gammas := []float64{0.9, 0.8, 0.95}
+	sum := 0.0
+	for _, g := range gammas {
+		sum += Noise(g)
+	}
+	if want := Noise(PathFidelity(gammas)); !almostEqual(sum, want, 1e-12) {
+		t.Errorf("noise sum = %v, product noise = %v", sum, want)
+	}
+}
+
+func TestEdgeWeight(t *testing.T) {
+	// Erasure fidelity 0.5 gives weight ln 2.
+	if got := EdgeWeight(ErasureFidelity); !almostEqual(got, math.Ln2, 1e-12) {
+		t.Errorf("EdgeWeight(0.5) = %v, want ln 2", got)
+	}
+	// Perfect qubits get infinite weight; hopeless qubits get zero.
+	if !math.IsInf(EdgeWeight(1), 1) {
+		t.Error("EdgeWeight(1) should be +Inf")
+	}
+	if EdgeWeight(0) != 0 {
+		t.Error("EdgeWeight(0) should be 0")
+	}
+	// Monotone: higher fidelity, higher weight.
+	if EdgeWeight(0.9) <= EdgeWeight(0.6) {
+		t.Error("EdgeWeight should increase with fidelity")
+	}
+}
+
+func TestGrowthSpeed(t *testing.T) {
+	const r = 2.0 / 3.0
+	// Erasures grow fastest: -r/ln(0.5) = r/ln2.
+	er := GrowthSpeed(ErasureFidelity, r)
+	if !almostEqual(er, r/math.Ln2, 1e-12) {
+		t.Errorf("GrowthSpeed(0.5, r) = %v, want %v", er, r/math.Ln2)
+	}
+	hi := GrowthSpeed(0.99, r)
+	if hi >= er {
+		t.Error("high-fidelity qubits must grow slower than erasures")
+	}
+	if GrowthSpeed(1, r) != 0 {
+		t.Error("perfect qubits should not grow at all")
+	}
+	if !math.IsInf(GrowthSpeed(0, r), 1) {
+		t.Error("zero-fidelity qubits grow instantly")
+	}
+}
+
+func TestCheckFidelity(t *testing.T) {
+	for _, ok := range []float64{0, 0.5, 1} {
+		if err := CheckFidelity(ok); err != nil {
+			t.Errorf("CheckFidelity(%v) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := CheckFidelity(bad); err == nil {
+			t.Errorf("CheckFidelity(%v) = nil, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitStability(t *testing.T) {
+	root := New(7)
+	c1 := root.Split("errors")
+	c2 := New(7).Split("errors")
+	for i := 0; i < 32; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("Split is not stable across identical parents at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split("alpha")
+	c2 := root.Split("beta")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("differently labeled children matched on %d draws", same)
+	}
+}
+
+func TestSplitDoesNotPerturbParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split("child")
+	_ = a.SplitN("trial", 3)
+	for i := 0; i < 32; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Split consumed parent entropy at draw %d", i)
+		}
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	root := New(11)
+	seen := map[uint64]int{}
+	for n := 0; n < 100; n++ {
+		v := root.SplitN("trial", n).Uint64()
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("SplitN(%d) collides with SplitN(%d)", n, prev)
+		}
+		seen[v] = n
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v, want ~0.3", got)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(0.75, 1.0)
+		if v < 0.75 || v >= 1.0 {
+			t.Fatalf("Range(0.75, 1.0) produced %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(21)
+	for i := 0; i < 1000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestSeedReported(t *testing.T) {
+	if got := New(1234).Seed(); got != 1234 {
+		t.Fatalf("Seed() = %d, want 1234", got)
+	}
+}

@@ -1,0 +1,143 @@
+package routing
+
+import (
+	"testing"
+
+	"surfnet/internal/network"
+)
+
+func TestCodeDims(t *testing.T) {
+	tests := []struct {
+		d, core, support int
+	}{
+		{2, 1, 4},  // 5 data qubits
+		{3, 3, 10}, // 13
+		{5, 7, 34}, // 41
+		{9, 15, 130} /* 145 */}
+	for _, tt := range tests {
+		core, support := CodeDims(tt.d)
+		if core != tt.core || support != tt.support {
+			t.Errorf("CodeDims(%d) = (%d,%d), want (%d,%d)", tt.d, core, support, tt.core, tt.support)
+		}
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	p := DefaultParams(SurfNet)
+	p.AdaptiveDistances = []int{3, 5, 7}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid adaptive params rejected: %v", err)
+	}
+	p.AdaptiveDistances = []int{5, 3}
+	if p.Validate() == nil {
+		t.Error("non-ascending distances should fail")
+	}
+	p.AdaptiveDistances = []int{1, 3}
+	if p.Validate() == nil {
+		t.Error("distance < 2 should fail")
+	}
+	p = DefaultParams(Purification1)
+	p.AdaptiveDistances = []int{3, 5}
+	if p.Validate() == nil {
+		t.Error("adaptive sizing on purification designs should fail")
+	}
+}
+
+func TestAtDistanceScaling(t *testing.T) {
+	p := DefaultParams(SurfNet) // reference distance 5, Wc=1, W=1.2
+	p3 := p.atDistance(3)
+	if p3.CoreQubits != 3 || p3.SupportQubits != 10 {
+		t.Fatalf("atDistance(3) sizes = (%d,%d)", p3.CoreQubits, p3.SupportQubits)
+	}
+	// Distance 3 tolerates half the reference noise: (3-1)/(5-1) = 0.5.
+	if p3.CoreThreshold != 0.5 || p3.TotalThreshold != 0.6 {
+		t.Fatalf("atDistance(3) thresholds = (%v,%v)", p3.CoreThreshold, p3.TotalThreshold)
+	}
+	p7 := p.atDistance(7)
+	if p7.CoreQubits != 11 || p7.CoreThreshold != 1.5 {
+		t.Fatalf("atDistance(7) = core %d, Wc %v", p7.CoreQubits, p7.CoreThreshold)
+	}
+}
+
+func TestAdaptivePicksSmallCodeOnCleanPaths(t *testing.T) {
+	// Very clean fibers: the distance-3 code's halved thresholds still
+	// cover the path, so the scheduler should pick d=3 everywhere.
+	net := lineNet(t, 0.97, 1000, 1000)
+	p := DefaultParams(SurfNet)
+	p.AdaptiveDistances = []int{3, 5, 7}
+	sched, err := Greedy(net, []network.Request{{Src: 0, Dst: 4, Messages: 2}}, p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sched.Requests[0]
+	if rs.Accepted() != 2 {
+		t.Fatalf("accepted %d", rs.Accepted())
+	}
+	for _, cr := range rs.Codes {
+		if cr.Distance != 3 {
+			t.Fatalf("distance = %d, want 3 on a clean path", cr.Distance)
+		}
+	}
+}
+
+func TestAdaptiveEscalatesOnNoisyPaths(t *testing.T) {
+	// Fidelity 0.8 over 4 hops: raw core noise ~1.29. d=3 tolerates
+	// Wc=0.5 and one EC cannot bridge the gap (needs 2, core would go
+	// negative); d=5 handles it with one correction.
+	net := lineNet(t, 0.8, 1000, 1000)
+	p := DefaultParams(SurfNet)
+	p.AdaptiveDistances = []int{3, 5, 7}
+	sched, err := Greedy(net, []network.Request{{Src: 0, Dst: 4, Messages: 1}}, p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sched.Requests[0]
+	if rs.Accepted() != 1 {
+		t.Fatalf("accepted %d", rs.Accepted())
+	}
+	if got := rs.Codes[0].Distance; got != 5 {
+		t.Fatalf("distance = %d, want escalation to 5", got)
+	}
+}
+
+func TestAdaptiveImprovesThroughputUnderScarcity(t *testing.T) {
+	// Tight entanglement budget: d=5 codes need 7 pairs each, d=3 codes
+	// only 3, so adaptive sizing admits more codes on clean paths.
+	net := lineNet(t, 0.97, 1000, 21)
+	fixed := DefaultParams(SurfNet)
+	adaptive := fixed
+	adaptive.AdaptiveDistances = []int{3, 5}
+	reqs := []network.Request{{Src: 0, Dst: 4, Messages: 7}}
+	fs, err := Greedy(net, reqs, fixed, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Greedy(net, reqs, adaptive, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.AcceptedCodes() != 3 { // 21/7
+		t.Fatalf("fixed accepted %d, want 3", fs.AcceptedCodes())
+	}
+	if as.AcceptedCodes() != 7 { // 21/3
+		t.Fatalf("adaptive accepted %d, want 7", as.AcceptedCodes())
+	}
+}
+
+func TestScheduleLPAdaptiveFallsBackToGreedy(t *testing.T) {
+	net := lineNet(t, 0.95, 1000, 1000)
+	p := DefaultParams(SurfNet)
+	p.AdaptiveDistances = []int{3, 5}
+	sched, err := ScheduleLP(net, []network.Request{{Src: 0, Dst: 4, Messages: 2}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.AcceptedCodes() != 2 {
+		t.Fatalf("accepted %d", sched.AcceptedCodes())
+	}
+	for _, cr := range sched.Requests[0].Codes {
+		if cr.Distance == 0 {
+			t.Fatal("adaptive schedule lost its distances")
+		}
+	}
+}

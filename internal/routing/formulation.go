@@ -1,0 +1,404 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"surfnet/internal/lp"
+	"surfnet/internal/network"
+)
+
+// Formulation is the LP relaxation of the routing integer program (Eq. 1-6)
+// for the SurfNet or Raw design, together with the variable layout needed to
+// interpret its solution.
+//
+// Variables per request k (stride = 1 + 4F + S, F fibers, S servers):
+//
+//	Y_k                   at base
+//	a_e^k  per arc e      at base + 1 + arc        (2F arcs: fiber x direction)
+//	b_e^k  per arc e      at base + 1 + 2F + arc
+//	x_r^k  per server r   at base + 1 + 4F + serverPos
+//
+// Noise sums are normalized per code (divided by n for the Core constraint
+// and by n+m for the whole-code constraint) so the thresholds Wc and W carry
+// the same per-code units as the §V-A worked example and the Fig. 6(b.4)
+// fidelity threshold 1/2^Wc.
+type Formulation struct {
+	Problem *lp.Problem
+	net     *network.Network
+	reqs    []network.Request
+	params  Params
+	servers []int
+	stride  int
+}
+
+// arcCount returns the number of directed arcs (two per fiber).
+func (f *Formulation) arcCount() int { return 2 * f.net.NumFibers() }
+
+// yVar returns the column of Y_k.
+func (f *Formulation) yVar(k int) int { return k * f.stride }
+
+// aVar returns the column of a_e^k for arc (fiber, dir), dir 0 = A->B.
+func (f *Formulation) aVar(k, fiber, dir int) int {
+	return k*f.stride + 1 + 2*fiber + dir
+}
+
+// bVar returns the column of b_e^k.
+func (f *Formulation) bVar(k, fiber, dir int) int {
+	return k*f.stride + 1 + f.arcCount() + 2*fiber + dir
+}
+
+// xVar returns the column of x_r^k for the serverPos-th server.
+func (f *Formulation) xVar(k, serverPos int) int {
+	return k*f.stride + 1 + 2*f.arcCount() + serverPos
+}
+
+// arcHead returns the head node of (fiber, dir).
+func (f *Formulation) arcHead(fiber, dir int) int {
+	fb := f.net.Fiber(fiber)
+	if dir == 0 {
+		return fb.B
+	}
+	return fb.A
+}
+
+// arcTail returns the tail node of (fiber, dir).
+func (f *Formulation) arcTail(fiber, dir int) int {
+	fb := f.net.Fiber(fiber)
+	if dir == 0 {
+		return fb.A
+	}
+	return fb.B
+}
+
+// BuildLP assembles the LP relaxation for the SurfNet or Raw design.
+// Purification designs are not expressible in the Eq. (1)-(6) program (they
+// have no Core/Support split and no error correction); schedule those with
+// Greedy directly.
+func BuildLP(net *network.Network, reqs []network.Request, p Params) (*Formulation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Design != SurfNet && p.Design != Raw {
+		return nil, fmt.Errorf("routing: design %v has no IP formulation; use Greedy", p.Design)
+	}
+	for i, r := range reqs {
+		if err := r.Validate(net); err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	f := &Formulation{
+		net:     net,
+		reqs:    reqs,
+		params:  p,
+		servers: net.NodesByRole(network.Server),
+	}
+	f.stride = 1 + 4*net.NumFibers() + len(f.servers)
+	f.Problem = lp.NewMaximize(f.stride * len(reqs))
+
+	// Objective (Eq. 1): maximize total scheduled codes.
+	for k := range reqs {
+		f.Problem.SetObjective(f.yVar(k), 1)
+	}
+	if err := f.addPerRequestRows(); err != nil {
+		return nil, err
+	}
+	if err := f.addNetworkRows(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// coreQubits returns the Core size n used in flow couplings; the Raw design
+// carries no Core flow.
+func (f *Formulation) coreQubits() int {
+	if f.params.Design == Raw {
+		return 0
+	}
+	return f.params.CoreQubits
+}
+
+// supportQubits returns the Support flow multiplier: m for SurfNet, the
+// whole code n+m for Raw.
+func (f *Formulation) supportQubits() int {
+	if f.params.Design == Raw {
+		return f.params.TotalQubits()
+	}
+	return f.params.SupportQubits
+}
+
+func (f *Formulation) addPerRequestRows() error {
+	net, p := f.net, f.params
+	serverPos := make(map[int]int, len(f.servers))
+	for i, s := range f.servers {
+		serverPos[s] = i
+	}
+	for k, r := range f.reqs {
+		// Eq. 2 bounds: Y_k <= i_k, x_r^k <= i_k.
+		if err := f.add(lp.Constraint{
+			Terms: []lp.Term{{Var: f.yVar(k), Coeff: 1}},
+			Sense: lp.LessEq, RHS: float64(r.Messages),
+		}); err != nil {
+			return err
+		}
+		for sp := range f.servers {
+			if err := f.add(lp.Constraint{
+				Terms: []lp.Term{{Var: f.xVar(k, sp), Coeff: 1}},
+				Sense: lp.LessEq, RHS: float64(r.Messages),
+			}); err != nil {
+				return err
+			}
+		}
+		// Eq. 3 line 1, extended: no flow out of the destination, into
+		// the source, or through any non-terminal user.
+		var forbidden []lp.Term
+		for fi := 0; fi < net.NumFibers(); fi++ {
+			for dir := 0; dir < 2; dir++ {
+				head, tail := f.arcHead(fi, dir), f.arcTail(fi, dir)
+				headUser := net.Node(head).Role == network.User && head != r.Dst
+				tailUser := net.Node(tail).Role == network.User && tail != r.Src
+				if head == r.Src || tail == r.Dst || headUser || tailUser {
+					forbidden = append(forbidden,
+						lp.Term{Var: f.aVar(k, fi, dir), Coeff: 1},
+						lp.Term{Var: f.bVar(k, fi, dir), Coeff: 1})
+				}
+			}
+		}
+		if len(forbidden) > 0 {
+			if err := f.add(lp.Constraint{Terms: forbidden, Sense: lp.Equal, RHS: 0}); err != nil {
+				return err
+			}
+		}
+		// Eq. 3 lines 2-3: source emits and destination absorbs n*Y_k
+		// Core and m*Y_k Support qubits.
+		type flowSpec struct {
+			varOf func(k, fiber, dir int) int
+			mult  int
+		}
+		specs := []flowSpec{{f.aVar, f.coreQubits()}, {f.bVar, f.supportQubits()}}
+		for _, spec := range specs {
+			if spec.mult == 0 { // Raw: force all Core flow to zero
+				var all []lp.Term
+				for fi := 0; fi < net.NumFibers(); fi++ {
+					for dir := 0; dir < 2; dir++ {
+						all = append(all, lp.Term{Var: spec.varOf(k, fi, dir), Coeff: 1})
+					}
+				}
+				if err := f.add(lp.Constraint{Terms: all, Sense: lp.Equal, RHS: 0}); err != nil {
+					return err
+				}
+				continue
+			}
+			into := f.flowTerms(k, spec.varOf, r.Dst, true)
+			into = append(into, lp.Term{Var: f.yVar(k), Coeff: -float64(spec.mult)})
+			if err := f.add(lp.Constraint{Terms: into, Sense: lp.Equal, RHS: 0}); err != nil {
+				return err
+			}
+			out := f.flowTerms(k, spec.varOf, r.Src, false)
+			out = append(out, lp.Term{Var: f.yVar(k), Coeff: -float64(spec.mult)})
+			if err := f.add(lp.Constraint{Terms: out, Sense: lp.Equal, RHS: 0}); err != nil {
+				return err
+			}
+			// Eq. 4 lines 2-3: conservation at every relay.
+			for _, rel := range net.Relays() {
+				terms := f.flowTerms(k, spec.varOf, rel, true)
+				for _, t := range f.flowTerms(k, spec.varOf, rel, false) {
+					terms = append(terms, lp.Term{Var: t.Var, Coeff: -1})
+				}
+				if err := f.add(lp.Constraint{Terms: terms, Sense: lp.Equal, RHS: 0}); err != nil {
+					return err
+				}
+			}
+		}
+		// Eq. 4 line 1: at servers, arriving flow is whole re-assembled
+		// codes: sum_in a = n * x_r and sum_in b = m * x_r.
+		for sp, srv := range f.servers {
+			if f.coreQubits() > 0 {
+				terms := f.flowTerms(k, f.aVar, srv, true)
+				terms = append(terms, lp.Term{Var: f.xVar(k, sp), Coeff: -float64(f.coreQubits())})
+				if err := f.add(lp.Constraint{Terms: terms, Sense: lp.Equal, RHS: 0}); err != nil {
+					return err
+				}
+			}
+			terms := f.flowTerms(k, f.bVar, srv, true)
+			terms = append(terms, lp.Term{Var: f.xVar(k, sp), Coeff: -float64(f.supportQubits())})
+			if err := f.add(lp.Constraint{Terms: terms, Sense: lp.Equal, RHS: 0}); err != nil {
+				return err
+			}
+		}
+		// Eq. 6: noise constraints, per-code normalized.
+		if p.Design == SurfNet {
+			n := float64(p.CoreQubits)
+			var core []lp.Term
+			for fi := 0; fi < net.NumFibers(); fi++ {
+				mu := net.Fiber(fi).Noise()
+				for dir := 0; dir < 2; dir++ {
+					core = append(core, lp.Term{Var: f.aVar(k, fi, dir), Coeff: mu / n})
+				}
+			}
+			for sp := range f.servers {
+				core = append(core, lp.Term{Var: f.xVar(k, sp), Coeff: -p.Omega})
+			}
+			lower := append([]lp.Term(nil), core...)
+			if err := f.add(lp.Constraint{Terms: lower, Sense: lp.GreaterEq, RHS: 0}); err != nil {
+				return err
+			}
+			upper := append([]lp.Term(nil), core...)
+			upper = append(upper, lp.Term{Var: f.yVar(k), Coeff: -p.CoreThreshold})
+			if err := f.add(lp.Constraint{Terms: upper, Sense: lp.LessEq, RHS: 0}); err != nil {
+				return err
+			}
+		}
+		total := float64(p.TotalQubits())
+		var whole []lp.Term
+		for fi := 0; fi < net.NumFibers(); fi++ {
+			mu := net.Fiber(fi).Noise()
+			for dir := 0; dir < 2; dir++ {
+				if p.Design == SurfNet {
+					whole = append(whole, lp.Term{Var: f.aVar(k, fi, dir), Coeff: 0.5 * mu / total})
+				}
+				whole = append(whole, lp.Term{Var: f.bVar(k, fi, dir), Coeff: mu / total})
+			}
+		}
+		for sp := range f.servers {
+			whole = append(whole, lp.Term{Var: f.xVar(k, sp), Coeff: -p.Omega})
+		}
+		whole = append(whole, lp.Term{Var: f.yVar(k), Coeff: -p.TotalThreshold})
+		if err := f.add(lp.Constraint{Terms: whole, Sense: lp.LessEq, RHS: 0}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Formulation) addNetworkRows() error {
+	net, p := f.net, f.params
+	// Eq. 5 line 1: relay storage capacity over all requests.
+	for _, rel := range net.Relays() {
+		capacity := float64(net.Node(rel).Capacity)
+		if p.Design == Raw {
+			capacity *= p.RawCapacityFactor
+		}
+		var terms []lp.Term
+		for k := range f.reqs {
+			terms = append(terms, f.flowTerms(k, f.aVar, rel, true)...)
+			terms = append(terms, f.flowTerms(k, f.bVar, rel, true)...)
+		}
+		if err := f.add(lp.Constraint{Terms: terms, Sense: lp.LessEq, RHS: capacity}); err != nil {
+			return err
+		}
+	}
+	// Eq. 5 line 2: entangled-pair budget per fiber (both directions).
+	if p.Design == SurfNet {
+		for fi := 0; fi < net.NumFibers(); fi++ {
+			var terms []lp.Term
+			for k := range f.reqs {
+				for dir := 0; dir < 2; dir++ {
+					terms = append(terms, lp.Term{Var: f.aVar(k, fi, dir), Coeff: 1})
+				}
+			}
+			if err := f.add(lp.Constraint{
+				Terms: terms, Sense: lp.LessEq,
+				RHS: float64(net.Fiber(fi).EntPairs),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flowTerms returns unit terms over the arcs into (into=true) or out of node
+// v for request k under the variable family varOf.
+func (f *Formulation) flowTerms(k int, varOf func(k, fiber, dir int) int, v int, into bool) []lp.Term {
+	var terms []lp.Term
+	for _, fi := range f.net.Incident(v) {
+		fb := f.net.Fiber(int(fi))
+		for dir := 0; dir < 2; dir++ {
+			head := f.arcHead(int(fi), dir)
+			if into && head == v || !into && head != v {
+				terms = append(terms, lp.Term{Var: varOf(k, int(fb.ID), dir), Coeff: 1})
+			}
+		}
+	}
+	return terms
+}
+
+func (f *Formulation) add(c lp.Constraint) error {
+	if err := f.Problem.AddConstraint(c); err != nil {
+		return fmt.Errorf("routing: building LP: %w", err)
+	}
+	return nil
+}
+
+// LPResult is the fractional scheduling decision extracted from the LP.
+type LPResult struct {
+	Status lp.Status
+	// Y holds the fractional Y_k per request.
+	Y []float64
+	// Objective is the LP optimum (an upper bound on integral throughput).
+	Objective float64
+}
+
+// SolveLP solves the relaxation and extracts the Y_k values.
+func (f *Formulation) SolveLP() (LPResult, error) {
+	sol, err := f.Problem.Solve()
+	if err != nil {
+		return LPResult{}, err
+	}
+	res := LPResult{Status: sol.Status, Objective: sol.Objective}
+	if sol.Status != lp.Optimal {
+		return res, nil
+	}
+	res.Y = make([]float64, len(f.reqs))
+	for k := range f.reqs {
+		res.Y[k] = sol.X[f.yVar(k)]
+	}
+	return res, nil
+}
+
+// ScheduleLP is the paper's evaluated scheduler: solve the LP relaxation,
+// round the fractional Y_k, and repair to an integral, execution-feasible
+// schedule by admitting codes greedily in decreasing fractional-Y order.
+// For purification designs (no IP formulation) it falls back to Greedy.
+func ScheduleLP(net *network.Network, reqs []network.Request, p Params) (Schedule, error) {
+	if p.Design != SurfNet && p.Design != Raw {
+		return Greedy(net, reqs, p, nil, nil)
+	}
+	if len(p.AdaptiveDistances) > 0 {
+		// The Eq. (1)-(6) program fixes one code size; QoS-adaptive
+		// sizing is a per-code decision, handled by the greedy stage.
+		return Greedy(net, reqs, p, nil, nil)
+	}
+	form, err := BuildLP(net, reqs, p)
+	if err != nil {
+		return Schedule{}, err
+	}
+	res, err := form.SolveLP()
+	if err != nil {
+		// Solver failures (e.g. the iteration budget on a heavily
+		// degenerate instance) degrade to greedy admission rather than
+		// aborting the round: the online network must always schedule.
+		return Greedy(net, reqs, p, nil, nil)
+	}
+	if res.Status != lp.Optimal {
+		// Infeasible relaxations only arise from zero-capacity corner
+		// cases; fall back to greedy admission, which degrades to an
+		// empty schedule gracefully.
+		return Greedy(net, reqs, p, nil, nil)
+	}
+	targets := make([]int, len(reqs))
+	order := make([]int, len(reqs))
+	for k := range reqs {
+		targets[k] = int(math.Floor(res.Y[k] + 0.5))
+		if targets[k] > reqs[k].Messages {
+			targets[k] = reqs[k].Messages
+		}
+		order[k] = k
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return res.Y[order[i]] > res.Y[order[j]]
+	})
+	return Greedy(net, reqs, p, targets, order)
+}

@@ -1,0 +1,101 @@
+package surfacecode
+
+import (
+	"fmt"
+
+	"surfnet/internal/quantum"
+	"surfnet/internal/rng"
+)
+
+// NoiseModel holds independent per-data-qubit error rates, the error model of
+// §IV: random Pauli errors plus erasure errors, with error-free measurements.
+// Pauli noise follows the independent-X/Z convention standard in threshold
+// studies: each qubit suffers an X flip with probability p and, independently,
+// a Z flip with probability p (Y when both fire), so p is directly the error
+// probability seen by each decoding graph.
+type NoiseModel struct {
+	// Pauli[q] is the per-graph flip probability of data qubit q: X with
+	// probability Pauli[q] and independently Z with probability Pauli[q].
+	Pauli []float64
+	// Erase[q] is the probability that data qubit q is erased. An erased
+	// qubit is replaced by a maximally mixed state — a uniform draw from
+	// {I, X, Y, Z} — and its location is known to the decoder.
+	Erase []float64
+}
+
+// NewNoiseModel returns an all-zero model sized for code c.
+func NewNoiseModel(c *Code) *NoiseModel {
+	return &NoiseModel{
+		Pauli: make([]float64, c.NumData()),
+		Erase: make([]float64, c.NumData()),
+	}
+}
+
+// UniformNoise builds the Fig. 8 model: Pauli rate p and erasure rate e on
+// every Support qubit, both halved on Core qubits ("these error rates are
+// halved at the Core part", §VI-B).
+func UniformNoise(c *Code, p, e float64) *NoiseModel {
+	nm := NewNoiseModel(c)
+	for q := 0; q < c.NumData(); q++ {
+		factor := 1.0
+		if c.IsCore(q) {
+			factor = 0.5
+		}
+		nm.Pauli[q] = p * factor
+		nm.Erase[q] = e * factor
+	}
+	return nm
+}
+
+// Validate checks that all rates are probabilities.
+func (nm *NoiseModel) Validate() error {
+	if len(nm.Pauli) != len(nm.Erase) {
+		return fmt.Errorf("surfacecode: rate slices disagree in length: %d vs %d",
+			len(nm.Pauli), len(nm.Erase))
+	}
+	for q := range nm.Pauli {
+		if nm.Pauli[q] < 0 || nm.Pauli[q] > 1 {
+			return fmt.Errorf("surfacecode: Pauli rate %v on qubit %d outside [0,1]", nm.Pauli[q], q)
+		}
+		if nm.Erase[q] < 0 || nm.Erase[q] > 1 {
+			return fmt.Errorf("surfacecode: erase rate %v on qubit %d outside [0,1]", nm.Erase[q], q)
+		}
+	}
+	return nil
+}
+
+// Sample draws one error realization: the Pauli frame over data qubits and
+// the erasure mask. Erasure takes precedence: an erased qubit's frame entry
+// is a uniform draw from {I, X, Y, Z} regardless of its Pauli rate.
+func (nm *NoiseModel) Sample(src *rng.Source) (quantum.Frame, []bool) {
+	n := len(nm.Pauli)
+	f := quantum.NewFrame(n)
+	erased := make([]bool, n)
+	mixed := [4]quantum.Pauli{quantum.I, quantum.X, quantum.Y, quantum.Z}
+	for q := 0; q < n; q++ {
+		if src.Bool(nm.Erase[q]) {
+			erased[q] = true
+			f[q] = mixed[src.IntN(4)]
+			continue
+		}
+		if src.Bool(nm.Pauli[q]) {
+			f[q] = f[q].Mul(quantum.X)
+		}
+		if src.Bool(nm.Pauli[q]) {
+			f[q] = f[q].Mul(quantum.Z)
+		}
+	}
+	return f, erased
+}
+
+// EdgeErrorProb returns, per data qubit, the probability that it carries an
+// error visible on one decoding graph, conditioned on it NOT being a known
+// erasure. Under the independent-X/Z convention this is the Pauli rate
+// itself. This is the "estimated data qubit fidelity" input of Algorithms 1
+// and 2: the decoder uses rho_i = 1 - EdgeErrorProb for intact qubits and
+// rho = 0.5 for known erasures.
+func (nm *NoiseModel) EdgeErrorProb() []float64 {
+	out := make([]float64, len(nm.Pauli))
+	copy(out, nm.Pauli)
+	return out
+}

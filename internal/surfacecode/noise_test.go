@@ -1,0 +1,119 @@
+package surfacecode
+
+import (
+	"math"
+	"testing"
+
+	"surfnet/internal/rng"
+)
+
+func TestUniformNoiseHalvesCore(t *testing.T) {
+	c := MustNew(5, CoreLShape)
+	nm := UniformNoise(c, 0.08, 0.15)
+	if err := nm.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for q := 0; q < c.NumData(); q++ {
+		wantP, wantE := 0.08, 0.15
+		if c.IsCore(q) {
+			wantP, wantE = 0.04, 0.075
+		}
+		if nm.Pauli[q] != wantP || nm.Erase[q] != wantE {
+			t.Fatalf("qubit %d (core=%v): rates (%v,%v), want (%v,%v)",
+				q, c.IsCore(q), nm.Pauli[q], nm.Erase[q], wantP, wantE)
+		}
+	}
+}
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	c := MustNew(3, CoreLShape)
+	nm := NewNoiseModel(c)
+	nm.Pauli[0] = 1.5
+	if nm.Validate() == nil {
+		t.Error("Pauli rate > 1 should fail validation")
+	}
+	nm.Pauli[0] = 0
+	nm.Erase[2] = -0.1
+	if nm.Validate() == nil {
+		t.Error("negative erase rate should fail validation")
+	}
+	nm.Erase = nm.Erase[:1]
+	if nm.Validate() == nil {
+		t.Error("length mismatch should fail validation")
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	c := MustNew(5, CoreLShape)
+	nm := UniformNoise(c, 0.10, 0.20)
+	src := rng.New(4242)
+	const trials = 4000
+	var pauliHits, eraseHits, erasedErrors, erasedCount int
+	var supportQubits int
+	for q := 0; q < c.NumData(); q++ {
+		if !c.IsCore(q) {
+			supportQubits++
+		}
+	}
+	for i := 0; i < trials; i++ {
+		f, erased := nm.Sample(src.SplitN("t", i))
+		for q := 0; q < c.NumData(); q++ {
+			if c.IsCore(q) {
+				continue
+			}
+			if erased[q] {
+				eraseHits++
+				erasedCount++
+				if !f[q].IsIdentity() {
+					erasedErrors++
+				}
+			} else if !f[q].IsIdentity() {
+				pauliHits++
+			}
+		}
+	}
+	total := float64(trials * supportQubits)
+	eraseRate := float64(eraseHits) / total
+	if math.Abs(eraseRate-0.20) > 0.01 {
+		t.Errorf("observed erase rate %v, want ~0.20", eraseRate)
+	}
+	// Non-erased qubits err (X, Z or both) with probability 2p - p^2
+	// under the independent-X/Z convention.
+	pauliRate := float64(pauliHits) / (total * 0.8)
+	if want := 2*0.10 - 0.10*0.10; math.Abs(pauliRate-want) > 0.01 {
+		t.Errorf("observed Pauli rate %v, want ~%v", pauliRate, want)
+	}
+	// Erased qubits hold a maximally mixed state: non-identity 3/4 of the
+	// time.
+	mixRate := float64(erasedErrors) / float64(erasedCount)
+	if math.Abs(mixRate-0.75) > 0.02 {
+		t.Errorf("erased qubits non-identity rate %v, want ~0.75", mixRate)
+	}
+}
+
+func TestEdgeErrorProb(t *testing.T) {
+	c := MustNew(3, CoreLShape)
+	nm := UniformNoise(c, 0.09, 0)
+	probs := nm.EdgeErrorProb()
+	for q, p := range probs {
+		want := 0.09
+		if c.IsCore(q) {
+			want = 0.045
+		}
+		if math.Abs(p-want) > 1e-12 {
+			t.Fatalf("qubit %d: edge error prob %v, want %v", q, p, want)
+		}
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	c := MustNew(4, CoreLShape)
+	nm := UniformNoise(c, 0.1, 0.1)
+	f1, e1 := nm.Sample(rng.New(5))
+	f2, e2 := nm.Sample(rng.New(5))
+	for q := range f1 {
+		if f1[q] != f2[q] || e1[q] != e2[q] {
+			t.Fatal("sampling is not deterministic under equal seeds")
+		}
+	}
+}

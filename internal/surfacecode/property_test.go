@@ -1,0 +1,151 @@
+package surfacecode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"surfnet/internal/quantum"
+	"surfnet/internal/rng"
+)
+
+// TestSyndromeLinearity checks that syndrome extraction is linear over frame
+// composition: syn(f*g) = syn(f) xor syn(g), per graph.
+func TestSyndromeLinearity(t *testing.T) {
+	c := MustNew(5, CoreLShape)
+	nm := UniformNoise(c, 0.2, 0.1)
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		f, _ := nm.Sample(src.Split("f"))
+		g, _ := nm.Sample(src.Split("g"))
+		fg := f.Clone()
+		fg.Compose(g)
+		for _, kind := range []GraphKind{ZGraph, XGraph} {
+			want := xorSets(c.Syndrome(kind, f), c.Syndrome(kind, g))
+			got := c.Syndrome(kind, fg)
+			if !sameSet(want, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLogicalParityLinearity checks that the logical-class parity of a
+// product of two syndrome-free frames is the XOR of their classes.
+func TestLogicalParityLinearity(t *testing.T) {
+	c := MustNew(4, CoreLShape)
+	src := rng.New(33)
+	// Build random syndrome-free frames: products of stabilizers and,
+	// half the time, one logical operator.
+	randomFrame := func(s *rng.Source) quantum.Frame {
+		f := quantum.NewFrame(c.NumData())
+		n := 2*c.Distance() - 1
+		for k := 0; k < 30; k++ {
+			i, j := s.IntN(n), s.IntN(n)
+			switch {
+			case i%2 == 1 && j%2 == 0:
+				f.Compose(xStabilizer(c, i, j))
+			case i%2 == 0 && j%2 == 1:
+				f.Compose(zStabilizer(c, i, j))
+			}
+		}
+		if s.Bool(0.5) { // add a logical X along row 0
+			for j := 0; j < n; j += 2 {
+				f.Apply(c.DataIndex(Coord{Row: 0, Col: j}), quantum.X)
+			}
+		}
+		return f
+	}
+	for trial := 0; trial < 60; trial++ {
+		f := randomFrame(src.SplitN("a", trial))
+		g := randomFrame(src.SplitN("b", trial))
+		fg := f.Clone()
+		fg.Compose(g)
+		if len(c.Syndrome(ZGraph, fg)) != 0 {
+			t.Fatal("product of syndrome-free frames has a syndrome")
+		}
+		want := c.HasLogicalError(ZGraph, f) != c.HasLogicalError(ZGraph, g)
+		if got := c.HasLogicalError(ZGraph, fg); got != want {
+			t.Fatalf("trial %d: logical parity not linear", trial)
+		}
+	}
+}
+
+// TestEveryDataQubitOnBothGraphs checks the §IV-C identification: each data
+// qubit is exactly one edge in each decoding graph, with consistent IDs.
+func TestEveryDataQubitOnBothGraphs(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 8} {
+		c := MustNew(d, CoreLShape)
+		for _, kind := range []GraphKind{ZGraph, XGraph} {
+			dg := c.Graph(kind)
+			seen := make([]bool, c.NumData())
+			for i := 0; i < dg.G.NumEdges(); i++ {
+				id := dg.G.Edge(i).ID
+				if id < 0 || id >= c.NumData() || seen[id] {
+					t.Fatalf("d=%d %v: bad or duplicate edge ID %d", d, kind, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+// TestCutQubitsAreBoundaryEdges checks that each graph's homology cut
+// consists of edges incident to exactly one virtual boundary.
+func TestCutQubitsAreBoundaryEdges(t *testing.T) {
+	c := MustNew(5, CoreLShape)
+	for _, kind := range []GraphKind{ZGraph, XGraph} {
+		dg := c.Graph(kind)
+		for _, q := range dg.CutQubits {
+			e := dg.G.Edge(q)
+			ends := 0
+			if dg.IsBoundary(e.U) {
+				ends++
+			}
+			if dg.IsBoundary(e.V) {
+				ends++
+			}
+			if ends != 1 {
+				t.Fatalf("%v: cut qubit %d touches %d boundaries, want 1", kind, q, ends)
+			}
+		}
+	}
+}
+
+// xorSets returns the symmetric difference of two vertex sets.
+func xorSets(a, b []int) []int {
+	m := map[int]int{}
+	for _, v := range a {
+		m[v]++
+	}
+	for _, v := range b {
+		m[v]++
+	}
+	var out []int
+	for v, n := range m {
+		if n%2 == 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sameSet reports set equality.
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int]bool{}
+	for _, v := range a {
+		m[v] = true
+	}
+	for _, v := range b {
+		if !m[v] {
+			return false
+		}
+	}
+	return true
+}

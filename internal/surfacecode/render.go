@@ -1,0 +1,91 @@
+package surfacecode
+
+import (
+	"strings"
+
+	"surfnet/internal/quantum"
+)
+
+// Render draws the lattice as ASCII art in the style of the paper's Figs. 2
+// and 3: data qubits on the (i+j)-even sites, measurement qubits between
+// them. frame and erased may be nil for a bare lattice.
+//
+//	.  error-free data qubit        X/Y/Z  data qubit carrying that error
+//	E  erased data qubit (its Pauli is hidden from the decoder anyway)
+//	o  quiet measure-Z qubit        #  measure-Z syndrome
+//	x  quiet measure-X qubit        @  measure-X syndrome
+func (c *Code) Render(frame quantum.Frame, erased []bool) string {
+	zSyn := map[int]bool{}
+	xSyn := map[int]bool{}
+	if frame != nil {
+		for _, v := range c.Syndrome(ZGraph, frame) {
+			zSyn[v] = true
+		}
+		for _, v := range c.Syndrome(XGraph, frame) {
+			xSyn[v] = true
+		}
+	}
+	n := 2*c.d - 1
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			switch {
+			case (i+j)%2 == 0: // data qubit
+				q := c.dataIndex[Coord{i, j}]
+				switch {
+				case erased != nil && erased[q]:
+					b.WriteByte('E')
+				case frame != nil && !frame[q].IsIdentity():
+					b.WriteString(frame[q].String())
+				default:
+					b.WriteByte('.')
+				}
+			case i%2 == 0: // measure-Z site
+				if zSyn[c.zAncilla(i, j)] {
+					b.WriteByte('#')
+				} else {
+					b.WriteByte('o')
+				}
+			default: // measure-X site
+				if xSyn[c.xAncilla(i, j)] {
+					b.WriteByte('@')
+				} else {
+					b.WriteByte('x')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCore draws the lattice marking Core data qubits with 'C' and Support
+// qubits with '.', with measurement sites as in Render.
+func (c *Code) RenderCore() string {
+	n := 2*c.d - 1
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			switch {
+			case (i+j)%2 == 0:
+				if c.core[c.dataIndex[Coord{i, j}]] {
+					b.WriteByte('C')
+				} else {
+					b.WriteByte('.')
+				}
+			case i%2 == 0:
+				b.WriteByte('o')
+			default:
+				b.WriteByte('x')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

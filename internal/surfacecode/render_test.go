@@ -1,0 +1,71 @@
+package surfacecode
+
+import (
+	"strings"
+	"testing"
+
+	"surfnet/internal/quantum"
+)
+
+func TestRenderBareLattice(t *testing.T) {
+	c := MustNew(3, CoreLShape)
+	out := c.Render(nil, nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d rows, want 5", len(lines))
+	}
+	// Row 0 of a d=3 code: data, measure-Z, data, measure-Z, data.
+	if lines[0] != ". o . o ." {
+		t.Fatalf("row 0 = %q", lines[0])
+	}
+	// Row 1: measure-X, data, measure-X, data, measure-X.
+	if lines[1] != "x . x . x" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if strings.ContainsAny(out, "#@XYZE") {
+		t.Fatal("bare lattice should contain no errors or syndromes")
+	}
+}
+
+func TestRenderErrorAndSyndromes(t *testing.T) {
+	c := MustNew(3, CoreLShape)
+	f := quantum.NewFrame(c.NumData())
+	q := c.DataIndex(Coord{Row: 1, Col: 1}) // bulk vertical data qubit
+	f[q] = quantum.X
+	out := c.Render(f, nil)
+	if !strings.Contains(out, "X") {
+		t.Error("error letter missing")
+	}
+	// An X on (1,1) flips measure-Z at (0,1) and (2,1): two '#'.
+	if got := strings.Count(out, "#"); got != 2 {
+		t.Errorf("rendered %d Z-syndromes, want 2", got)
+	}
+	if strings.Contains(out, "@") {
+		t.Error("X error must not light measure-X syndromes")
+	}
+}
+
+func TestRenderErased(t *testing.T) {
+	c := MustNew(3, CoreLShape)
+	f := quantum.NewFrame(c.NumData())
+	erased := make([]bool, c.NumData())
+	erased[0] = true
+	f[0] = quantum.Z // hidden behind the erasure marker
+	out := c.Render(f, erased)
+	if !strings.Contains(out, "E") {
+		t.Error("erasure marker missing")
+	}
+}
+
+func TestRenderCore(t *testing.T) {
+	c := MustNew(5, CoreLShape)
+	out := c.RenderCore()
+	if got := strings.Count(out, "C"); got != c.CoreSize() {
+		t.Fatalf("rendered %d core marks, want %d", got, c.CoreSize())
+	}
+	// L-shape: the left column rows 2,4,6,8 and top row columns 2,4,6.
+	lines := strings.Split(out, "\n")
+	if lines[2][0] != 'C' || lines[0][4] != 'C' {
+		t.Error("core marks not at the L-shape positions")
+	}
+}

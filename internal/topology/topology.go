@@ -1,0 +1,211 @@
+// Package topology generates the random network scenarios of the paper's
+// evaluation (§VI-A/B): Barabási–Albert graphs with more than 20 nodes, the
+// most-connected nodes assigned as servers and switches, and per-fiber
+// fidelities drawn from the good ([0.75, 1]) or poor ([0.5, 1]) connection
+// ranges.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"surfnet/internal/network"
+	"surfnet/internal/rng"
+)
+
+// FidelityRange is a uniform fiber-fidelity distribution.
+type FidelityRange struct {
+	Lo, Hi float64
+}
+
+// The paper's two connection-quality ranges (§VI-B).
+var (
+	GoodConnection = FidelityRange{Lo: 0.75, Hi: 1.0}
+	PoorConnection = FidelityRange{Lo: 0.5, Hi: 1.0}
+)
+
+// Facilities captures how well-equipped a scenario is (§VI-A: abundant,
+// sufficient, insufficient facilities).
+type Facilities struct {
+	Name string
+	// ServerFrac and SwitchFrac are the fractions of (most-connected)
+	// nodes assigned as servers and switches.
+	ServerFrac, SwitchFrac float64
+	// SwitchCapacity is eta_r for switches; servers hold ServerFactor
+	// times more.
+	SwitchCapacity int
+	// ServerFactor scales server capacity relative to switches.
+	ServerFactor int
+	// EntPairs is eta_e: prepared entangled pairs per fiber per round.
+	EntPairs int
+	// EntRate is the per-slot entanglement generation success
+	// probability used by the online execution engine.
+	EntRate float64
+	// LossProb is the per-fiber plain-channel photon loss probability.
+	LossProb float64
+}
+
+// The three facility scenarios of Fig. 6(a).
+var (
+	Abundant = Facilities{
+		Name: "abundant", ServerFrac: 0.20, SwitchFrac: 0.45,
+		SwitchCapacity: 250, ServerFactor: 2, EntPairs: 80,
+		EntRate: 0.7, LossProb: 0.05,
+	}
+	Sufficient = Facilities{
+		Name: "sufficient", ServerFrac: 0.15, SwitchFrac: 0.40,
+		SwitchCapacity: 150, ServerFactor: 2, EntPairs: 42,
+		EntRate: 0.55, LossProb: 0.08,
+	}
+	Insufficient = Facilities{
+		Name: "insufficient", ServerFrac: 0.10, SwitchFrac: 0.35,
+		SwitchCapacity: 90, ServerFactor: 2, EntPairs: 28,
+		EntRate: 0.45, LossProb: 0.12,
+	}
+)
+
+// Params fully specifies a random scenario.
+type Params struct {
+	// Nodes is the node count; the paper uses "over 20 nodes".
+	Nodes int
+	// Attach is the Barabási–Albert attachment count m (edges added per
+	// new node).
+	Attach int
+	Facilities
+	Fidelity FidelityRange
+}
+
+// DefaultParams returns the paper-scale scenario: a 24-node BA graph with
+// attachment 2.
+func DefaultParams(f Facilities, fr FidelityRange) Params {
+	return Params{Nodes: 24, Attach: 2, Facilities: f, Fidelity: fr}
+}
+
+// BarabasiAlbert generates the edge set of a BA graph on n nodes with
+// attachment m using preferential attachment. The first m+1 nodes form a
+// clique seed so every node has degree >= m and the graph is connected.
+func BarabasiAlbert(n, m int, src *rng.Source) ([][2]int, error) {
+	if n < m+1 || m < 1 {
+		return nil, fmt.Errorf("topology: need n >= m+1 >= 2, got n=%d m=%d", n, m)
+	}
+	var edges [][2]int
+	// Repeated-endpoint list for preferential attachment.
+	var ends []int
+	addEdge := func(a, b int) {
+		edges = append(edges, [2]int{a, b})
+		ends = append(ends, a, b)
+	}
+	for i := 0; i < m+1; i++ {
+		for j := i + 1; j < m+1; j++ {
+			addEdge(i, j)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			t := ends[src.IntN(len(ends))]
+			chosen[t] = true
+		}
+		for _, t := range sortedKeys(chosen) {
+			addEdge(v, t)
+		}
+	}
+	return edges, nil
+}
+
+// Generate builds a random network scenario: BA topology, degree-ranked role
+// assignment ("the most connected nodes chosen to be the servers and
+// switches", §VI-B), uniform fiber fidelities, and facility capacities.
+func Generate(p Params, src *rng.Source) (*network.Network, error) {
+	edges, err := BarabasiAlbert(p.Nodes, p.Attach, src.Split("ba"))
+	if err != nil {
+		return nil, err
+	}
+	degree := make([]int, p.Nodes)
+	for _, e := range edges {
+		degree[e[0]]++
+		degree[e[1]]++
+	}
+	byDegree := make([]int, p.Nodes)
+	for i := range byDegree {
+		byDegree[i] = i
+	}
+	sort.SliceStable(byDegree, func(a, b int) bool {
+		return degree[byDegree[a]] > degree[byDegree[b]]
+	})
+	nServers := max(1, int(float64(p.Nodes)*p.ServerFrac))
+	nSwitches := max(1, int(float64(p.Nodes)*p.SwitchFrac))
+	roles := make([]network.Role, p.Nodes)
+	for i, v := range byDegree {
+		switch {
+		case i < nServers:
+			roles[v] = network.Server
+		case i < nServers+nSwitches:
+			roles[v] = network.Switch
+		default:
+			roles[v] = network.User
+		}
+	}
+	nodes := make([]network.Node, p.Nodes)
+	for i := range nodes {
+		capacity := 0
+		switch roles[i] {
+		case network.Switch:
+			capacity = p.SwitchCapacity
+		case network.Server:
+			capacity = p.SwitchCapacity * p.ServerFactor
+		}
+		nodes[i] = network.Node{ID: i, Role: roles[i], Capacity: capacity}
+	}
+	fsrc := src.Split("fidelity")
+	fibers := make([]network.Fiber, len(edges))
+	for i, e := range edges {
+		fibers[i] = network.Fiber{
+			ID: i, A: e[0], B: e[1],
+			Fidelity: fsrc.Range(p.Fidelity.Lo, p.Fidelity.Hi),
+			EntPairs: p.EntPairs,
+			EntRate:  p.EntRate,
+			LossProb: p.LossProb,
+		}
+	}
+	return network.New(nodes, fibers)
+}
+
+// GenRequests draws k communication requests between distinct random users,
+// each carrying 1..maxMessages surface codes (§VI-B varies "number of
+// requests, and number of messages in each request").
+func GenRequests(net *network.Network, k, maxMessages int, src *rng.Source) ([]network.Request, error) {
+	users := net.NodesByRole(network.User)
+	if len(users) < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 users, have %d", len(users))
+	}
+	if maxMessages < 1 {
+		return nil, fmt.Errorf("topology: maxMessages must be >= 1, got %d", maxMessages)
+	}
+	reqs := make([]network.Request, k)
+	for i := range reqs {
+		s := users[src.IntN(len(users))]
+		d := users[src.IntN(len(users))]
+		for d == s {
+			d = users[src.IntN(len(users))]
+		}
+		reqs[i] = network.Request{Src: s, Dst: d, Messages: 1 + src.IntN(maxMessages)}
+	}
+	return reqs, nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"testing"
+
+	"surfnet/internal/network"
+	"surfnet/internal/rng"
+)
+
+func TestBarabasiAlbertStructure(t *testing.T) {
+	src := rng.New(1)
+	edges, err := BarabasiAlbert(24, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clique seed of 3 nodes (3 edges) + 21 nodes x 2 edges.
+	want := 3 + 21*2
+	if len(edges) != want {
+		t.Fatalf("edges = %d, want %d", len(edges), want)
+	}
+	// No self-loops; every node appears.
+	deg := make([]int, 24)
+	for _, e := range edges {
+		if e[0] == e[1] {
+			t.Fatalf("self-loop %v", e)
+		}
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v, d := range deg {
+		if d < 2 {
+			t.Errorf("node %d has degree %d < m", v, d)
+		}
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := BarabasiAlbert(2, 2, src); err == nil {
+		t.Error("n < m+1 should fail")
+	}
+	if _, err := BarabasiAlbert(10, 0, src); err == nil {
+		t.Error("m < 1 should fail")
+	}
+}
+
+func TestBarabasiAlbertPreferentialAttachment(t *testing.T) {
+	// Hubs should emerge: max degree well above the minimum.
+	src := rng.New(7)
+	edges, err := BarabasiAlbert(100, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := make([]int, 100)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 8 {
+		t.Errorf("max degree %d; preferential attachment should create hubs", maxDeg)
+	}
+}
+
+func TestGenerateScenario(t *testing.T) {
+	for _, fac := range []Facilities{Abundant, Sufficient, Insufficient} {
+		for _, fr := range []FidelityRange{GoodConnection, PoorConnection} {
+			net, err := Generate(DefaultParams(fac, fr), rng.New(99))
+			if err != nil {
+				t.Fatalf("%s: %v", fac.Name, err)
+			}
+			if net.NumNodes() != 24 {
+				t.Fatalf("%s: %d nodes", fac.Name, net.NumNodes())
+			}
+			servers := net.NodesByRole(network.Server)
+			switches := net.NodesByRole(network.Switch)
+			users := net.NodesByRole(network.User)
+			if len(servers) == 0 || len(switches) == 0 || len(users) < 2 {
+				t.Fatalf("%s: roles %d/%d/%d", fac.Name, len(servers), len(switches), len(users))
+			}
+			// Servers are drawn from the most-connected nodes: the
+			// min server degree must be >= the max user degree.
+			deg := make([]int, net.NumNodes())
+			for i := 0; i < net.NumFibers(); i++ {
+				f := net.Fiber(i)
+				deg[f.A]++
+				deg[f.B]++
+			}
+			minServer := 1 << 30
+			for _, s := range servers {
+				if deg[s] < minServer {
+					minServer = deg[s]
+				}
+			}
+			maxUser := 0
+			for _, u := range users {
+				if deg[u] > maxUser {
+					maxUser = deg[u]
+				}
+			}
+			if minServer < maxUser {
+				t.Errorf("%s: server degree %d below user degree %d", fac.Name, minServer, maxUser)
+			}
+			// Fidelities respect the range; capacities follow roles.
+			for i := 0; i < net.NumFibers(); i++ {
+				f := net.Fiber(i)
+				if f.Fidelity < fr.Lo || f.Fidelity >= fr.Hi {
+					t.Fatalf("%s: fiber fidelity %v outside [%v,%v)", fac.Name, f.Fidelity, fr.Lo, fr.Hi)
+				}
+				if f.EntPairs != fac.EntPairs {
+					t.Fatalf("%s: fiber EntPairs %d, want %d", fac.Name, f.EntPairs, fac.EntPairs)
+				}
+			}
+			for _, s := range servers {
+				if net.Node(s).Capacity != fac.SwitchCapacity*fac.ServerFactor {
+					t.Errorf("%s: server capacity %d", fac.Name, net.Node(s).Capacity)
+				}
+			}
+			for _, u := range users {
+				if net.Node(u).Capacity != 0 {
+					t.Errorf("%s: user has capacity", fac.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(DefaultParams(Sufficient, GoodConnection), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultParams(Sufficient, GoodConnection), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumFibers() != b.NumFibers() {
+		t.Fatal("fiber counts differ across identical seeds")
+	}
+	for i := 0; i < a.NumFibers(); i++ {
+		if a.Fiber(i) != b.Fiber(i) {
+			t.Fatalf("fiber %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenRequests(t *testing.T) {
+	net, err := Generate(DefaultParams(Sufficient, GoodConnection), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := GenRequests(net, 15, 4, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 15 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	for i, r := range reqs {
+		if err := r.Validate(net); err != nil {
+			t.Errorf("request %d invalid: %v", i, err)
+		}
+		if r.Messages < 1 || r.Messages > 4 {
+			t.Errorf("request %d messages %d outside [1,4]", i, r.Messages)
+		}
+	}
+	if _, err := GenRequests(net, 5, 0, rng.New(1)); err == nil {
+		t.Error("maxMessages 0 should fail")
+	}
+}
