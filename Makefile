@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test race vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The standard pre-commit check.
+check: vet race

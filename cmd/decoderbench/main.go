@@ -1,20 +1,25 @@
 // Command decoderbench regenerates Fig. 8 of the paper: the Pauli error
 // threshold of surface codes under the Union-Find decoder and the SurfNet
 // Decoder, with a fixed erasure rate and error rates halved on the Core part.
+// It always reports per-decoder wall-time quantiles collected from the
+// telemetry histograms.
 //
 // Usage:
 //
 //	decoderbench [-trials N] [-distances 9,11,13,15] [-erasure 0.15] [-seed S] [-mwpm]
+//	             [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"surfnet"
+	"surfnet/internal/cliutil"
 )
 
 func main() {
@@ -27,12 +32,27 @@ func run() int {
 	erasure := flag.Float64("erasure", 0.15, "fixed erasure rate (paper: 15%)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	mwpm := flag.Bool("mwpm", false, "additionally evaluate the modified MWPM decoder (Algorithm 1)")
+	var obs cliutil.Observability
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := obs.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "decoderbench: %v\n", err)
+		return 1
+	}
+	// The latency report below always needs a registry, -metrics-out or not.
+	obs.ForceMetrics()
+	defer func() {
+		if err := obs.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "decoderbench: %v\n", err)
+		}
+	}()
 
 	cfg := surfnet.DefaultFig8()
 	cfg.Trials = *trials
 	cfg.ErasureRate = *erasure
 	cfg.Seed = *seed
+	cfg.Metrics = obs.Registry
 	var ds []int
 	for _, part := range strings.Split(*distances, ",") {
 		d, err := strconv.Atoi(strings.TrimSpace(part))
@@ -55,5 +75,49 @@ func run() int {
 	fmt.Printf("Fig 8: logical error rate vs Pauli rate (erasure %.0f%%, Core rates halved, %d trials/point)\n",
 		*erasure*100, *trials)
 	fmt.Print(surfnet.FormatFig8(points))
+	fmt.Println()
+	printLatencies(obs.Registry.Snapshot())
 	return 0
+}
+
+// printLatencies renders the per-decoder decode-time quantiles recorded under
+// decoder.<name>.decode_seconds during the study.
+func printLatencies(snap surfnet.MetricsSnapshot) {
+	const prefix, suffix = "decoder.", ".decode_seconds"
+	var names []string
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Println("decode wall time per invocation:")
+	fmt.Printf("%-14s %10s %12s %12s %12s %12s\n", "decoder", "decodes", "mean", "p50", "p99", "max")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		dec := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		fmt.Printf("%-14s %10d %12s %12s %12s %12s\n",
+			dec, h.Count, fmtSeconds(mean), fmtSeconds(h.P50), fmtSeconds(h.P99), fmtSeconds(h.Max))
+	}
+}
+
+// fmtSeconds picks a readable unit for sub-second durations.
+func fmtSeconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.2fµs", s*1e6)
+	default:
+		return fmt.Sprintf("%.0fns", s*1e9)
+	}
 }

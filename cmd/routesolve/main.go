@@ -1,12 +1,14 @@
 // Command routesolve schedules a batch of random requests on a generated
 // scenario with the paper's LP-relaxation-with-rounding scheduler and prints
 // the resulting routes: per-request acceptance, Core/Support paths, error
-// correction servers, and scheduled noise.
+// correction servers, and scheduled noise, followed by the solver's telemetry
+// (simplex pivots, iterations, rounding decisions, fallbacks).
 //
 // Usage:
 //
 //	routesolve [-design surfnet|raw|purification-1|purification-2|purification-9]
 //	           [-scenario ...] [-connection ...] [-requests K] [-messages M] [-seed S]
+//	           [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 
 	"surfnet"
+	"surfnet/internal/cliutil"
 )
 
 func main() {
@@ -28,6 +31,8 @@ func run() int {
 	requests := flag.Int("requests", 6, "number of random requests")
 	messages := flag.Int("messages", 3, "maximum surface codes per request")
 	seed := flag.Uint64("seed", 1, "random seed")
+	var obs cliutil.Observability
+	obs.Register(flag.CommandLine)
 	flag.Parse()
 
 	var d surfnet.Design
@@ -63,6 +68,18 @@ func run() int {
 		fr = surfnet.PoorConnection
 	}
 
+	if err := obs.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
+		return 1
+	}
+	// The solver report below always needs a registry, -metrics-out or not.
+	obs.ForceMetrics()
+	defer func() {
+		if err := obs.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
+		}
+	}()
+
 	src := surfnet.NewRand(*seed)
 	net, err := surfnet.GenerateNetwork(surfnet.DefaultTopology(fac, fr), src)
 	if err != nil {
@@ -74,7 +91,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
 		return 1
 	}
-	sched, err := surfnet.ScheduleRoutes(net, reqs, surfnet.DefaultRouting(d))
+	p := surfnet.DefaultRouting(d)
+	p.Metrics = obs.Registry
+	p.Tracer = obs.TracerOrNil()
+	sched, err := surfnet.ScheduleRoutes(net, reqs, p)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
 		return 1
@@ -91,5 +111,18 @@ func run() int {
 				c, cr.CorePath, cr.SupportPath, cr.Servers, cr.CoreNoise, cr.TotalNoise, cr.ExpectedFidelity())
 		}
 	}
+	printSolverStats(obs.Registry.Snapshot())
 	return 0
+}
+
+// printSolverStats reports the scheduler counters recorded during the solve.
+func printSolverStats(snap surfnet.MetricsSnapshot) {
+	c := snap.Counters
+	fmt.Printf("\nsolver: lp-solves=%d pivots=%d iterations=%d degenerate-pivots=%d\n",
+		c["routing.lp_solves"], c["routing.lp_pivots"],
+		c["routing.lp_iterations"], c["routing.lp_degenerate_pivots"])
+	fmt.Printf("rounding: up=%d down=%d greedy-fallbacks=%d\n",
+		c["routing.rounded_up"], c["routing.rounded_down"], c["routing.greedy_fallbacks"])
+	fmt.Printf("admission: codes-admitted=%d unadmitted=%d\n",
+		c["routing.codes_admitted"], c["routing.codes_unadmitted"])
 }

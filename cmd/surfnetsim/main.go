@@ -6,28 +6,84 @@
 // Usage:
 //
 //	surfnetsim -fig 6a|6b1|6b2|6b3|6b4|7|all [-trials N] [-requests K] [-seed S] [-greedy]
+//	           [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -fig accepts a comma-separated list ("-fig 6a,7"). With -metrics-out the
+// run prints a per-figure counter delta after each figure and writes the full
+// JSON snapshot on exit; -trace-out streams every slot-level and routing
+// event as JSON Lines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"surfnet"
+	"surfnet/internal/cliutil"
 )
+
+// validFigs lists the figure names in presentation order; "all" expands to
+// every entry.
+var validFigs = []string{"6a", "6b1", "6b2", "6b3", "6b4", "7"}
+
+// parseFigs expands and validates a comma-separated -fig value upfront, so a
+// typo fails before any experiment runs.
+func parseFigs(arg string) ([]string, error) {
+	valid := map[string]bool{}
+	for _, f := range validFigs {
+		valid[f] = true
+	}
+	var figs []string
+	for _, part := range strings.Split(arg, ",") {
+		name := strings.TrimSpace(part)
+		switch {
+		case name == "all":
+			figs = append(figs, validFigs...)
+		case valid[name]:
+			figs = append(figs, name)
+		default:
+			return nil, fmt.Errorf("unknown figure %q (valid: %s, all)",
+				name, strings.Join(validFigs, ", "))
+		}
+	}
+	if len(figs) == 0 {
+		return nil, fmt.Errorf("empty -fig (valid: %s, all)", strings.Join(validFigs, ", "))
+	}
+	return figs, nil
+}
 
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
-	fig := flag.String("fig", "all", "figure to regenerate: 6a, 6b1, 6b2, 6b3, 6b4, 7, or all")
+	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 6a, 6b1, 6b2, 6b3, 6b4, 7, or all")
 	trials := flag.Int("trials", 12, "random networks per experiment cell (paper: 1080)")
 	requests := flag.Int("requests", 8, "communication requests per trial")
 	maxMsgs := flag.Int("messages", 3, "maximum surface codes per request")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	greedy := flag.Bool("greedy", false, "use the greedy scheduler instead of LP relaxation + rounding")
+	var obs cliutil.Observability
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+
+	figs, err := parseFigs(*fig)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "surfnetsim: %v\n", err)
+		return 1
+	}
+	if err := obs.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "surfnetsim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := obs.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "surfnetsim: %v\n", err)
+		}
+	}()
 
 	cfg := surfnet.DefaultExperiments()
 	cfg.Trials = *trials
@@ -35,6 +91,8 @@ func run() int {
 	cfg.MaxMessages = *maxMsgs
 	cfg.Seed = *seed
 	cfg.UseLP = !*greedy
+	cfg.Metrics = obs.Registry
+	cfg.Tracer = obs.TracerOrNil()
 
 	runFig := func(name string) error {
 		switch name {
@@ -80,22 +138,38 @@ func run() int {
 			}
 			fmt.Println("Fig 7: averaged communication fidelity of the five designs")
 			fmt.Print(surfnet.FormatFig7(rows))
-		default:
-			return fmt.Errorf("unknown figure %q", name)
 		}
 		fmt.Println()
 		return nil
 	}
 
-	figs := []string{*fig}
-	if *fig == "all" {
-		figs = []string{"6a", "6b1", "6b2", "6b3", "6b4", "7"}
-	}
 	for _, f := range figs {
+		prev := obs.Registry.Snapshot()
 		if err := runFig(f); err != nil {
 			fmt.Fprintf(os.Stderr, "surfnetsim: %v\n", err)
 			return 1
 		}
+		if obs.Registry != nil {
+			printDelta(f, obs.Registry.Snapshot().CounterDelta(prev))
+		}
 	}
 	return 0
+}
+
+// printDelta reports what one figure's run added to the counters, sorted for
+// stable output.
+func printDelta(fig string, delta map[string]int64) {
+	if len(delta) == 0 {
+		return
+	}
+	names := make([]string, 0, len(delta))
+	for name := range delta {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("telemetry delta (fig %s):\n", fig)
+	for _, name := range names {
+		fmt.Printf("  %-32s %d\n", name, delta[name])
+	}
+	fmt.Println()
 }

@@ -1,0 +1,131 @@
+// Package cliutil is the shared observability harness of the cmd tools:
+// the -metrics-out, -trace-out, -cpuprofile, and -memprofile flags, plus the
+// lifecycle around them (open profile, run, flush trace, write snapshot).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"surfnet/internal/telemetry"
+)
+
+// Observability bundles the telemetry and profiling state of one CLI run.
+// Register its flags, call Start before the workload and Finish (usually
+// deferred) after it.
+type Observability struct {
+	MetricsOut string
+	TraceOut   string
+	CPUProfile string
+	MemProfile string
+
+	// Registry is non-nil once Start ran with -metrics-out set, or after
+	// ForceMetrics; pass it to the experiment configs.
+	Registry *telemetry.Registry
+	// Tracer is non-nil once Start ran with -trace-out set.
+	Tracer *telemetry.JSONL
+
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// Register defines the four observability flags on fs.
+func (o *Observability) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot to this file on exit")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write a JSONL event trace to this file")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&o.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+}
+
+// ForceMetrics ensures a registry exists even without -metrics-out, for
+// tools that always report telemetry-derived tables (decoderbench latency
+// quantiles, routesolve pivot counts).
+func (o *Observability) ForceMetrics() {
+	if o.Registry == nil {
+		o.Registry = telemetry.NewRegistry()
+	}
+}
+
+// TracerOrNil returns the tracer as the interface type, staying truly nil
+// when tracing is off (a typed-nil interface would defeat the engine's nil
+// checks).
+func (o *Observability) TracerOrNil() telemetry.Tracer {
+	if o.Tracer == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// Start opens the configured outputs and starts the CPU profile.
+func (o *Observability) Start() error {
+	if o.MetricsOut != "" {
+		o.ForceMetrics()
+	}
+	if o.TraceOut != "" {
+		f, err := os.Create(o.TraceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		o.traceFile = f
+		o.Tracer = telemetry.NewJSONL(f)
+	}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		o.cpuFile = f
+	}
+	return nil
+}
+
+// Finish stops the CPU profile, writes the heap profile and the metrics
+// snapshot, and flushes the trace. It returns the first error encountered
+// but always attempts every step.
+func (o *Observability) Finish() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(o.cpuFile.Close())
+		o.cpuFile = nil
+	}
+	if o.MemProfile != "" {
+		f, err := os.Create(o.MemProfile)
+		if err != nil {
+			keep(fmt.Errorf("memprofile: %w", err))
+		} else {
+			runtime.GC() // get up-to-date allocation statistics
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	if o.Tracer != nil {
+		keep(o.Tracer.Flush())
+	}
+	if o.traceFile != nil {
+		keep(o.traceFile.Close())
+		o.traceFile = nil
+	}
+	if o.MetricsOut != "" && o.Registry != nil {
+		f, err := os.Create(o.MetricsOut)
+		if err != nil {
+			keep(fmt.Errorf("metrics-out: %w", err))
+		} else {
+			keep(o.Registry.Snapshot().WriteJSON(f))
+			keep(f.Close())
+		}
+	}
+	return first
+}

@@ -25,6 +25,7 @@ import (
 	"surfnet/internal/rng"
 	"surfnet/internal/routing"
 	"surfnet/internal/surfacecode"
+	"surfnet/internal/telemetry"
 )
 
 // ErrConfig is returned for invalid engine configuration.
@@ -88,6 +89,16 @@ type Config struct {
 	// swaps; SurfNet's opportunistic segments pay it within each segment.
 	// Zero selects 0.9.
 	SwapEfficiency float64
+	// Metrics, when non-nil, receives engine counters and histograms
+	// (photon losses, teleports, decodes, crashes, recoveries, delivery
+	// latency) plus the per-decoder instrumentation of
+	// decoder.DecodeFrameMetered. Nil — the default — disables metrics;
+	// instrumented sites then cost one nil check each.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives slot-level events tagged with the
+	// request and code indices, so one communication's life can be
+	// replayed from its trace. Nil disables tracing.
+	Tracer telemetry.Tracer
 }
 
 // DefaultConfig returns the paper-default engine: a distance-5 code, the
@@ -247,7 +258,7 @@ func Run(net *network.Network, sched routing.Schedule, cfg Config, src *rng.Sour
 				codes[cr.Distance] = code
 			}
 			stream := src.SplitN(fmt.Sprintf("req%d", ri), ci)
-			o, err := runOne(net, sched, cfg, code, rs.Request, cr, stream)
+			o, err := runOne(net, sched, cfg, code, rs.Request, cr, stream, ri, ci)
 			if err != nil {
 				return RunResult{}, fmt.Errorf("request %d code %d: %w", ri, ci, err)
 			}
@@ -258,14 +269,16 @@ func Run(net *network.Network, sched routing.Schedule, cfg Config, src *rng.Sour
 	return res, nil
 }
 
-// runOne dispatches on the schedule's design.
-func runOne(net *network.Network, sched routing.Schedule, cfg Config, code *surfacecode.Code, req network.Request, cr routing.CodeRoute, src *rng.Source) (Outcome, error) {
+// runOne dispatches on the schedule's design. ri and ci tag telemetry with
+// the communication's identity.
+func runOne(net *network.Network, sched routing.Schedule, cfg Config, code *surfacecode.Code, req network.Request, cr routing.CodeRoute, src *rng.Source, ri, ci int) (Outcome, error) {
 	switch sched.Design {
 	case routing.SurfNet, routing.Raw:
 		t := newTransfer(net, sched, cfg, code, req, cr, src)
+		t.reqIdx, t.codeIdx = ri, ci
 		return t.run()
 	default:
-		return runPurification(net, sched, cfg, req, cr, src)
+		return runPurification(net, sched, cfg, req, cr, src, ri, ci)
 	}
 }
 
@@ -280,7 +293,16 @@ func runOne(net *network.Network, sched routing.Schedule, cfg Config, code *surf
 // error correction anywhere — so delivery succeeds with probability equal to
 // the chain fidelity after purification, swap losses, and the memory decay
 // accumulated while waiting.
-func runPurification(net *network.Network, sched routing.Schedule, cfg Config, req network.Request, cr routing.CodeRoute, src *rng.Source) (Outcome, error) {
+func runPurification(net *network.Network, sched routing.Schedule, cfg Config, req network.Request, cr routing.CodeRoute, src *rng.Source, ri, ci int) (Outcome, error) {
+	ins := newInstruments(cfg.Metrics)
+	trace := func(slot int, typ string, kv ...any) {
+		if cfg.Tracer == nil {
+			return
+		}
+		ev := telemetry.Ev(typ, kv...)
+		ev.Slot, ev.Req, ev.Code = slot, ri, ci
+		cfg.Tracer.Emit(ev)
+	}
 	n := sched.Design.PurifyRounds()
 	path := cr.CorePath
 	need := 1 + n
@@ -314,6 +336,8 @@ func runPurification(net *network.Network, sched routing.Schedule, cfg Config, r
 		}
 	}
 	if !ready {
+		ins.timeouts.Inc()
+		trace(cfg.MaxSlots, "core.timeout", "design", sched.Design.String())
 		return out, nil // timed out waiting for the chain
 	}
 	out.Delivered = true
@@ -337,5 +361,9 @@ func runPurification(net *network.Network, sched routing.Schedule, cfg Config, r
 	}
 	chain *= math.Pow(decay, float64(slot))
 	out.Success = src.Bool(chain)
+	ins.delivered.Inc()
+	ins.latency.Observe(float64(out.Latency))
+	trace(slot, "core.deliver", "design", sched.Design.String(),
+		"latency", out.Latency, "success", out.Success)
 	return out, nil
 }

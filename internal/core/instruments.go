@@ -1,0 +1,46 @@
+package core
+
+import "surfnet/internal/telemetry"
+
+// instruments holds the engine's pre-resolved metrics so the slot loop pays
+// one registry lookup per instrument per transfer, not per event. With a nil
+// registry every field is nil and each recording site costs one nil check.
+type instruments struct {
+	photonLoss      *telemetry.Counter // Support photons lost to the plain channel
+	teleports       *telemetry.Counter // opportunistic Core segment moves
+	teleportHops    *telemetry.Counter // fibers covered by those moves
+	coreStalls      *telemetry.Counter // slots the Core part waited for entanglement
+	decodes         *telemetry.Counter // error-correction decodes performed
+	decodeFailures  *telemetry.Counter // decodes that left a logical error
+	fiberCrashes    *telemetry.Counter // fiber outages sampled
+	recoveries      *telemetry.Counter // successful local recovery reroutes
+	recoveryFails   *telemetry.Counter // blocked parts with no recovery path
+	retransmissions *telemetry.Counter // Support retransmission waves
+	delivered       *telemetry.Counter // codes delivered within MaxSlots
+	timeouts        *telemetry.Counter // codes still in flight at MaxSlots
+
+	latency        *telemetry.Histogram // delivery latency in slots
+	erasedAtDecode *telemetry.Histogram // erasures entering each decode
+}
+
+func newInstruments(reg *telemetry.Registry) instruments {
+	if reg == nil {
+		return instruments{}
+	}
+	return instruments{
+		photonLoss:      reg.Counter("core.photon_loss"),
+		teleports:       reg.Counter("core.teleports"),
+		teleportHops:    reg.Counter("core.teleport_hops"),
+		coreStalls:      reg.Counter("core.core_stalls"),
+		decodes:         reg.Counter("core.decodes"),
+		decodeFailures:  reg.Counter("core.decode_failures"),
+		fiberCrashes:    reg.Counter("core.fiber_crashes"),
+		recoveries:      reg.Counter("core.recoveries"),
+		recoveryFails:   reg.Counter("core.recovery_failures"),
+		retransmissions: reg.Counter("core.retransmissions"),
+		delivered:       reg.Counter("core.delivered"),
+		timeouts:        reg.Counter("core.timeouts"),
+		latency:         reg.Histogram("core.delivery_latency_slots", telemetry.SlotBuckets),
+		erasedAtDecode:  reg.Histogram("core.erased_at_decode", telemetry.WeightBuckets),
+	}
+}

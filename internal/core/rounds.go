@@ -6,6 +6,7 @@ import (
 	"surfnet/internal/network"
 	"surfnet/internal/rng"
 	"surfnet/internal/routing"
+	"surfnet/internal/telemetry"
 	"surfnet/internal/topology"
 )
 
@@ -116,6 +117,16 @@ func RunRounds(net *network.Network, rc RoundConfig, src *rng.Source) (RoundsRes
 	if err := rc.validate(); err != nil {
 		return RoundsResult{}, err
 	}
+	// The engine's telemetry covers the whole continuous run: propagate it
+	// to the scheduler unless the caller wired the routing layer separately.
+	if rc.Routing.Metrics == nil {
+		rc.Routing.Metrics = rc.Engine.Metrics
+	}
+	if rc.Routing.Tracer == nil {
+		rc.Routing.Tracer = rc.Engine.Tracer
+	}
+	backlogGauge := rc.Engine.Metrics.Gauge("core.backlog")
+	rejectedCounter := rc.Engine.Metrics.Counter("core.backlog_rejections")
 	maxBacklog := rc.MaxBacklog
 	if maxBacklog == 0 {
 		maxBacklog = 64
@@ -131,6 +142,7 @@ func RunRounds(net *network.Network, rc RoundConfig, src *rng.Source) (RoundsRes
 		for _, r := range arrivals {
 			if len(backlog) >= maxBacklog {
 				res.Rejected++
+				rejectedCounter.Inc()
 				continue
 			}
 			backlog = append(backlog, r)
@@ -165,6 +177,11 @@ func RunRounds(net *network.Network, rc RoundConfig, src *rng.Source) (RoundsRes
 			}
 			backlog = next
 		}
+		backlogGauge.Set(float64(len(backlog)))
+		telemetry.Emit(rc.Engine.Tracer, telemetry.Ev("core.round",
+			"round", round, "arrived", outcome.Arrived,
+			"pending", outcome.Pending, "scheduled", outcome.Scheduled,
+			"backlog", len(backlog)))
 		res.Rounds = append(res.Rounds, outcome)
 	}
 	return res, nil

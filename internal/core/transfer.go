@@ -10,6 +10,7 @@ import (
 	"surfnet/internal/rng"
 	"surfnet/internal/routing"
 	"surfnet/internal/surfacecode"
+	"surfnet/internal/telemetry"
 )
 
 // partState tracks one part of a surface code (Core or Support) travelling
@@ -55,6 +56,21 @@ type transfer struct {
 	downUntil  map[int]int // fiber id -> slot when repaired
 	failedOnce bool        // logical error at any correction so far
 	out        Outcome
+
+	ins     instruments
+	reqIdx  int // request index, tagged onto telemetry
+	codeIdx int // code index within the request
+}
+
+// trace emits a slot-scoped event tagged with the communication's identity.
+// The nil check keeps the untraced path to a single branch.
+func (t *transfer) trace(slot int, typ string, kv ...any) {
+	if t.cfg.Tracer == nil {
+		return
+	}
+	ev := telemetry.Ev(typ, kv...)
+	ev.Slot, ev.Req, ev.Code = slot, t.reqIdx, t.codeIdx
+	t.cfg.Tracer.Emit(ev)
 }
 
 func newTransfer(net *network.Network, sched routing.Schedule, cfg Config, code *surfacecode.Code, req network.Request, cr routing.CodeRoute, src *rng.Source) *transfer {
@@ -69,6 +85,7 @@ func newTransfer(net *network.Network, sched routing.Schedule, cfg Config, code 
 		erased:    make([]bool, nq),
 		isCore:    code.CoreMask(),
 		downUntil: make(map[int]int),
+		ins:       newInstruments(cfg.Metrics),
 	}
 	t.support.path = append([]int(nil), cr.SupportPath...)
 	t.support.nodes = nodeSeq(net, req.Src, t.support.path)
@@ -118,10 +135,11 @@ func (t *transfer) run() (Outcome, error) {
 			if t.cfg.WaitForComplete && t.anyErased() {
 				t.retransmit(supStop)
 				t.out.Retransmissions++
+				t.ins.retransmissions.Inc()
 				continue // retransmission wave costs this slot
 			}
 			atDst := t.nextStop == len(t.stopNodes)-1
-			ok, err := t.decode()
+			ok, err := t.decode(slot)
 			if err != nil {
 				return t.out, err
 			}
@@ -132,12 +150,20 @@ func (t *transfer) run() (Outcome, error) {
 				t.out.Delivered = true
 				t.out.Latency = slot + 1 // decode completes this slot
 				t.out.Success = !t.failedOnce
+				t.ins.delivered.Inc()
+				t.ins.latency.Observe(float64(t.out.Latency))
+				t.trace(slot, "core.deliver",
+					"latency", t.out.Latency, "success", t.out.Success,
+					"corrections", t.out.Corrections, "recoveries", t.out.Recoveries)
 				return t.out, nil
 			}
 			t.out.Corrections++
 			t.nextStop++
 		}
 	}
+	t.ins.timeouts.Inc()
+	t.trace(t.cfg.MaxSlots, "core.timeout",
+		"stop", t.nextStop, "stops", len(t.stopNodes))
 	return t.out, nil // timed out: not delivered
 }
 
@@ -168,11 +194,17 @@ func (t *transfer) sampleOutages(slot int) {
 		return
 	}
 	t.remainingFibers(func(fi int) {
-		if until, down := t.downUntil[fi]; down && slot < until {
-			return
+		if until, down := t.downUntil[fi]; down {
+			if slot < until {
+				return
+			}
+			delete(t.downUntil, fi)
+			t.trace(slot, "core.fiber_repair", "fiber", fi)
 		}
 		if t.src.Bool(t.cfg.FiberFailProb) {
 			t.downUntil[fi] = slot + t.cfg.RepairSlots
+			t.ins.fiberCrashes.Inc()
+			t.trace(slot, "core.fiber_crash", "fiber", fi, "until", slot+t.cfg.RepairSlots)
 		}
 	})
 }
@@ -193,6 +225,7 @@ func (t *transfer) advanceSupport(slot, stop int) {
 		return
 	}
 	f := t.net.Fiber(fi)
+	lost := 0
 	for q := range t.errProb {
 		if t.design == routing.SurfNet && t.isCore[q] {
 			continue // core travels the entanglement channel
@@ -202,10 +235,15 @@ func (t *transfer) advanceSupport(slot, stop int) {
 		}
 		if t.src.Bool(f.LossProb) {
 			t.erased[q] = true
+			lost++
 			continue
 		}
 		flip := t.cfg.ChannelErrorScale * (1 - f.Fidelity)
 		t.errProb[q] = 1 - (1-t.errProb[q])*(1-flip)
+	}
+	if lost > 0 {
+		t.ins.photonLoss.Add(int64(lost))
+		t.trace(slot, "core.photon_loss", "fiber", fi, "lost", lost)
 	}
 	t.support.pos++
 }
@@ -233,6 +271,7 @@ func (t *transfer) advanceCore(slot, stop int) {
 		need = dist
 	}
 	if prefix < need {
+		t.ins.coreStalls.Inc() // waiting for entanglement this slot
 		return
 	}
 	// Teleport across the established segment: purified pair fidelities
@@ -257,6 +296,11 @@ func (t *transfer) advanceCore(slot, stop int) {
 		}
 		t.errProb[q] = 1 - (1-t.errProb[q])*(1-flip)
 	}
+	t.ins.teleports.Inc()
+	t.ins.teleportHops.Add(int64(prefix))
+	t.trace(slot, "core.teleport",
+		"from", t.core.nodes[t.core.pos], "to", t.core.nodes[t.core.pos+prefix],
+		"hops", prefix)
 	t.core.pos += prefix
 }
 
@@ -306,6 +350,10 @@ func (t *transfer) tryRecovery(part *partState, slot, stop int) {
 	if t.cfg.DisableRecovery {
 		return
 	}
+	partName := "support"
+	if part == &t.core {
+		partName = "core"
+	}
 	from := part.nodes[part.pos]
 	target := part.nodes[stop]
 	g := graph.NewWeighted(t.net.NumNodes())
@@ -325,6 +373,7 @@ func (t *transfer) tryRecovery(part *partState, slot, stop int) {
 	sp := g.Dijkstra(from)
 	alt := sp.PathTo(g, target)
 	if alt == nil {
+		t.ins.recoveryFails.Inc()
 		return
 	}
 	altFibers := make([]int, len(alt))
@@ -337,6 +386,9 @@ func (t *transfer) tryRecovery(part *partState, slot, stop int) {
 	part.path = newPath
 	part.nodes = nodeSeq(t.net, part.nodes[0], part.path)
 	t.out.Recoveries++
+	t.ins.recoveries.Inc()
+	t.trace(slot, "core.recovery",
+		"part", partName, "from", from, "to", target, "detour", len(altFibers))
 }
 
 // anyErased reports whether any Support qubit is currently missing.
@@ -352,14 +404,16 @@ func (t *transfer) anyErased() bool {
 // decode samples the accumulated channel error and runs the configured
 // decoder over both graphs, then resets the channel state (a corrected code
 // is fresh). It reports whether the code survived without a logical error.
-func (t *transfer) decode() (bool, error) {
+func (t *transfer) decode(slot int) (bool, error) {
 	code := t.code
 	frame := quantum.NewFrame(code.NumData())
 	mixed := [4]quantum.Pauli{quantum.I, quantum.X, quantum.Y, quantum.Z}
 	probs := make([]float64, code.NumData())
+	nErased := 0
 	for q := range frame {
 		if t.erased[q] {
 			frame[q] = mixed[t.src.IntN(4)]
+			nErased++
 			continue
 		}
 		// Independent X/Z flips at the accumulated channel error rate.
@@ -371,10 +425,19 @@ func (t *transfer) decode() (bool, error) {
 		}
 		probs[q] = t.errProb[q]
 	}
-	res, err := decoder.DecodeFrame(code, t.cfg.Decoder, frame, t.erased, probs)
+	res, stats, err := decoder.DecodeFrameMetered(code, t.cfg.Decoder, frame, t.erased, probs, t.cfg.Metrics)
 	if err != nil {
 		return false, fmt.Errorf("core: decoding at stop %d: %w", t.nextStop, err)
 	}
+	t.ins.decodes.Inc()
+	t.ins.erasedAtDecode.Observe(float64(nErased))
+	if res.Failed() {
+		t.ins.decodeFailures.Inc()
+	}
+	t.trace(slot, "core.decode",
+		"node", t.stopNodes[t.nextStop], "stop", t.nextStop,
+		"erased", nErased, "syndrome_weight", stats.SyndromeWeight,
+		"correction_weight", stats.CorrectionWeight, "failed", res.Failed())
 	for q := range t.errProb {
 		t.errProb[q] = 0
 		t.erased[q] = false

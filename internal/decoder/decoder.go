@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"surfnet/internal/quantum"
 	"surfnet/internal/surfacecode"
+	"surfnet/internal/telemetry"
 )
 
 // ErrInvalidInput is returned when a decoding input is malformed.
@@ -115,45 +117,87 @@ type Result struct {
 // counted by the paper's logical error rate.
 func (r Result) Failed() bool { return r.LogicalX || r.LogicalZ }
 
+// FrameStats reports the observable work of one DecodeFrame call, summed
+// over both decoding graphs.
+type FrameStats struct {
+	// SyndromeWeight is the number of flipped syndrome measurements
+	// handed to the decoder.
+	SyndromeWeight int
+	// CorrectionWeight is the number of data-qubit flips the decoder
+	// applied.
+	CorrectionWeight int
+	// Elapsed is the wall time of both graph decodes.
+	Elapsed time.Duration
+}
+
 // DecodeFrame runs dec on both decoding graphs of code c for the sampled
 // error frame and erasure mask, applies the corrections, and reports logical
 // failure. errProb gives the per-qubit estimated single-graph error
 // probability (see surfacecode.NoiseModel.EdgeErrorProb).
 func DecodeFrame(c *surfacecode.Code, dec Decoder, frame quantum.Frame, erased []bool, errProb []float64) (Result, error) {
+	res, _, err := DecodeFrameMetered(c, dec, frame, erased, errProb, nil)
+	return res, err
+}
+
+// DecodeFrameMetered is DecodeFrame plus instrumentation: it reports the
+// call's FrameStats and, when reg is non-nil, records them under the
+// decoder's name — a "decoder.<name>.decodes" invocation counter,
+// "decode_seconds", "syndrome_weight" and "correction_weight" histograms,
+// and a "logical_failures" counter. A nil registry records nothing.
+func DecodeFrameMetered(c *surfacecode.Code, dec Decoder, frame quantum.Frame, erased []bool, errProb []float64, reg *telemetry.Registry) (Result, FrameStats, error) {
+	start := time.Now()
 	res := Result{Residual: frame.Clone()}
+	var stats FrameStats
 	// X-type components live on the Z-graph; corrections are X flips.
+	zSyn := c.Syndrome(surfacecode.ZGraph, frame)
 	zCorr, err := dec.Decode(Input{
 		Graph:     c.Graph(surfacecode.ZGraph),
-		Syndromes: c.Syndrome(surfacecode.ZGraph, frame),
+		Syndromes: zSyn,
 		Erased:    erased,
 		ErrorProb: errProb,
 	})
 	if err != nil {
-		return Result{}, fmt.Errorf("decoding Z-graph: %w", err)
+		return Result{}, stats, fmt.Errorf("decoding Z-graph: %w", err)
 	}
 	for _, q := range zCorr {
 		res.Residual.Apply(q, quantum.X)
 	}
 	// Z-type components live on the X-graph; corrections are Z flips.
+	xSyn := c.Syndrome(surfacecode.XGraph, frame)
 	xCorr, err := dec.Decode(Input{
 		Graph:     c.Graph(surfacecode.XGraph),
-		Syndromes: c.Syndrome(surfacecode.XGraph, frame),
+		Syndromes: xSyn,
 		Erased:    erased,
 		ErrorProb: errProb,
 	})
 	if err != nil {
-		return Result{}, fmt.Errorf("decoding X-graph: %w", err)
+		return Result{}, stats, fmt.Errorf("decoding X-graph: %w", err)
 	}
 	for _, q := range xCorr {
 		res.Residual.Apply(q, quantum.Z)
 	}
 	if s := c.Syndrome(surfacecode.ZGraph, res.Residual); len(s) != 0 {
-		return Result{}, fmt.Errorf("decoder %s left %d Z-graph syndromes", dec.Name(), len(s))
+		return Result{}, stats, fmt.Errorf("decoder %s left %d Z-graph syndromes", dec.Name(), len(s))
 	}
 	if s := c.Syndrome(surfacecode.XGraph, res.Residual); len(s) != 0 {
-		return Result{}, fmt.Errorf("decoder %s left %d X-graph syndromes", dec.Name(), len(s))
+		return Result{}, stats, fmt.Errorf("decoder %s left %d X-graph syndromes", dec.Name(), len(s))
 	}
 	res.LogicalX = c.HasLogicalError(surfacecode.ZGraph, res.Residual)
 	res.LogicalZ = c.HasLogicalError(surfacecode.XGraph, res.Residual)
-	return res, nil
+	stats = FrameStats{
+		SyndromeWeight:   len(zSyn) + len(xSyn),
+		CorrectionWeight: len(zCorr) + len(xCorr),
+		Elapsed:          time.Since(start),
+	}
+	if reg != nil {
+		prefix := "decoder." + dec.Name() + "."
+		reg.Counter(prefix + "decodes").Inc()
+		reg.Histogram(prefix+"decode_seconds", telemetry.DurationBuckets).Observe(stats.Elapsed.Seconds())
+		reg.Histogram(prefix+"syndrome_weight", telemetry.WeightBuckets).Observe(float64(stats.SyndromeWeight))
+		reg.Histogram(prefix+"correction_weight", telemetry.WeightBuckets).Observe(float64(stats.CorrectionWeight))
+		if res.Failed() {
+			reg.Counter(prefix + "logical_failures").Inc()
+		}
+	}
+	return res, stats, nil
 }

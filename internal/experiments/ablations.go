@@ -68,7 +68,7 @@ func decoderAblation(seed uint64, trials, distance int, pauli, erasure float64,
 	}
 	var out []DecoderPoint
 	for _, v := range variants {
-		rate, err := logicalRate(code, v.dec, pauli, erasure, trials, seed)
+		rate, err := logicalRate(code, v.dec, pauli, erasure, trials, seed, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"surfnet/internal/decoder"
 	"surfnet/internal/rng"
 	"surfnet/internal/surfacecode"
+	"surfnet/internal/telemetry"
 )
 
 // Fig8Config parameterizes the decoder threshold study of Fig. 8.
@@ -29,6 +30,10 @@ type Fig8Config struct {
 	Decoders []decoder.Decoder
 	// Layout selects the Core geometry.
 	Layout surfacecode.CoreLayout
+	// Metrics, when non-nil, collects per-decoder invocation counters and
+	// wall-time / syndrome-weight / correction-weight histograms across
+	// the whole study (decoderbench reports its p50/p99 from them).
+	Metrics *telemetry.Registry
 }
 
 // DefaultFig8Config returns the paper's Fig. 8 settings with an
@@ -69,7 +74,7 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 				return nil, fmt.Errorf("experiments: building d=%d code: %w", d, err)
 			}
 			for _, p := range cfg.PauliRates {
-				rate, err := logicalRate(code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Seed)
+				rate, err := logicalRate(code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Seed, cfg.Metrics)
 				if err != nil {
 					return nil, err
 				}
@@ -87,14 +92,14 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 }
 
 // logicalRate Monte-Carlos the logical error rate of one configuration.
-func logicalRate(code *surfacecode.Code, dec decoder.Decoder, pauli, erasure float64, trials int, seed uint64) (float64, error) {
+func logicalRate(code *surfacecode.Code, dec decoder.Decoder, pauli, erasure float64, trials int, seed uint64, reg *telemetry.Registry) (float64, error) {
 	nm := surfacecode.UniformNoise(code, pauli, erasure)
 	probs := nm.EdgeErrorProb()
 	root := rng.New(seed).Split(fmt.Sprintf("fig8/%s/%d/%.4f", dec.Name(), code.Distance(), pauli))
 	fails := 0
 	for i := 0; i < trials; i++ {
 		frame, erased := nm.Sample(root.SplitN("t", i))
-		res, err := decoder.DecodeFrame(code, dec, frame, erased, probs)
+		res, _, err := decoder.DecodeFrameMetered(code, dec, frame, erased, probs, reg)
 		if err != nil {
 			return 0, fmt.Errorf("experiments: decoding d=%d p=%v trial %d: %w",
 				code.Distance(), pauli, i, err)

@@ -13,6 +13,7 @@ import (
 	"surfnet/internal/network"
 	"surfnet/internal/rng"
 	"surfnet/internal/routing"
+	"surfnet/internal/telemetry"
 	"surfnet/internal/topology"
 )
 
@@ -33,6 +34,14 @@ type Config struct {
 	UseLP bool
 	// Engine configures online execution (code, decoder, segments).
 	Engine core.Config
+	// Metrics, when non-nil, collects counters and histograms from the
+	// scheduler, the engine, and the decoders across every trial of
+	// every figure cell; the CLIs snapshot it per figure and write it
+	// out with -metrics-out. Nil disables collection.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives every slot-level and routing event
+	// of every trial. Nil disables tracing.
+	Tracer telemetry.Tracer
 }
 
 // DefaultConfig returns interactively sized experiment settings.
@@ -67,6 +76,20 @@ type trialSpec struct {
 // runCell evaluates Trials random networks for one cell.
 func runCell(cfg Config, spec trialSpec, label string) (Cell, error) {
 	var cell Cell
+	// Wire the harness telemetry into the engine and scheduler unless the
+	// caller already instrumented them individually.
+	if cfg.Engine.Metrics == nil {
+		cfg.Engine.Metrics = cfg.Metrics
+	}
+	if cfg.Engine.Tracer == nil {
+		cfg.Engine.Tracer = cfg.Tracer
+	}
+	if spec.routing.Metrics == nil {
+		spec.routing.Metrics = cfg.Metrics
+	}
+	if spec.routing.Tracer == nil {
+		spec.routing.Tracer = cfg.Tracer
+	}
 	root := rng.New(cfg.Seed).Split(label)
 	for trial := 0; trial < cfg.Trials; trial++ {
 		src := root.SplitN("trial", trial)

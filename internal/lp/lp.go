@@ -127,11 +127,32 @@ func (s Status) String() string {
 	}
 }
 
+// Stats counts the work a solve performed; the routing layer exports them
+// as scheduler telemetry and routesolve prints them.
+type Stats struct {
+	// Pivots is the total number of Gauss-Jordan pivots across both
+	// phases (including basis-repair pivots between phases).
+	Pivots int
+	// Phase1Pivots is the pivot count attributable to phase 1.
+	Phase1Pivots int
+	// Iterations is the number of simplex iterations (entering-column
+	// selections), which exceeds Pivots only on the final optimality
+	// check of each phase.
+	Iterations int
+	// DegeneratePivots counts pivots with a (near-)zero ratio step.
+	DegeneratePivots int
+	// Refreshes counts exact reduced-cost recomputations.
+	Refreshes int
+}
+
 // Solution is the result of solving a Problem.
 type Solution struct {
 	Status    Status
 	X         []float64
 	Objective float64
+	// Stats reports solver effort; populated on every outcome, including
+	// Infeasible and Unbounded.
+	Stats Stats
 }
 
 // Solver errors.
@@ -232,7 +253,8 @@ func (p *Problem) Solve() (Solution, error) {
 			return Solution{}, fmt.Errorf("phase 1: %w", err)
 		}
 		if val < -1e-6 {
-			return Solution{Status: Infeasible}, nil
+			s.stats.Phase1Pivots = s.stats.Pivots
+			return Solution{Status: Infeasible, Stats: s.stats}, nil
 		}
 		// Drive any artificial still in the basis out (degenerate rows)
 		// or drop the row if it is all zeros.
@@ -256,6 +278,7 @@ func (p *Problem) Solve() (Solution, error) {
 			}
 		}
 	}
+	s.stats.Phase1Pivots = s.stats.Pivots
 	// Phase 2: real objective over structural columns only. Artificials
 	// are frozen at zero by restricting entering columns below artStart.
 	obj := make([]float64, total)
@@ -269,7 +292,7 @@ func (p *Problem) Solve() (Solution, error) {
 	val, err := s.optimize(obj, artStart)
 	if err != nil {
 		if errors.Is(err, errUnbounded) {
-			return Solution{Status: Unbounded}, nil
+			return Solution{Status: Unbounded, Stats: s.stats}, nil
 		}
 		return Solution{}, fmt.Errorf("phase 2: %w", err)
 	}
@@ -282,7 +305,7 @@ func (p *Problem) Solve() (Solution, error) {
 	if !p.maximize {
 		val = -val
 	}
-	return Solution{Status: Optimal, X: x, Objective: val}, nil
+	return Solution{Status: Optimal, X: x, Objective: val, Stats: s.stats}, nil
 }
 
 var errUnbounded = errors.New("lp: unbounded")
@@ -292,6 +315,7 @@ type simplex struct {
 	t     [][]float64
 	basis []int
 	total int
+	stats Stats
 }
 
 // pivot performs a Gauss-Jordan pivot on (row, col).
@@ -318,6 +342,7 @@ func (s *simplex) pivot(row, col int) {
 		ri[col] = 0 // exact
 	}
 	s.basis[row] = col
+	s.stats.Pivots++
 }
 
 // optimize maximizes obj over the current basis, entering only columns below
@@ -330,6 +355,7 @@ func (s *simplex) optimize(obj []float64, colLimit int) (float64, error) {
 	// objective row for efficiency.
 	z := make([]float64, total+1)
 	refresh := func() {
+		s.stats.Refreshes++
 		for j := 0; j <= total; j++ {
 			var v float64
 			if j < total {
@@ -345,6 +371,7 @@ func (s *simplex) optimize(obj []float64, colLimit int) (float64, error) {
 	degenerate := 0
 	maxIters := 30*(m+total) + 10000
 	for iter := 0; iter < maxIters; iter++ {
+		s.stats.Iterations++
 		if iter > 0 && iter%refreshEvery == 0 {
 			// Incremental updates drift; periodically recompute the
 			// reduced costs exactly so tiny phantom negatives cannot
@@ -392,6 +419,7 @@ func (s *simplex) optimize(obj []float64, colLimit int) (float64, error) {
 		}
 		if bestRatio < eps {
 			degenerate++
+			s.stats.DegeneratePivots++
 		} else {
 			degenerate = 0
 		}

@@ -299,6 +299,46 @@ func TestConstraintValidation(t *testing.T) {
 	}
 }
 
+func TestSolveStats(t *testing.T) {
+	// A non-trivial solve must report pivot and iteration work, and the
+	// iteration count bounds the pivot count per phase.
+	p := NewMaximize(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 2)
+	mustAdd(t, p, Constraint{Terms: []Term{{0, 1}, {1, 1}}, Sense: LessEq, RHS: 4})
+	mustAdd(t, p, Constraint{Terms: []Term{{0, 1}, {1, 3}}, Sense: LessEq, RHS: 6})
+	sol := solveOK(t, p)
+	if sol.Stats.Pivots == 0 {
+		t.Fatal("optimal solve reported zero pivots")
+	}
+	if sol.Stats.Iterations == 0 {
+		t.Fatal("optimal solve reported zero iterations")
+	}
+	if sol.Stats.Pivots < sol.Stats.Phase1Pivots {
+		t.Fatalf("total pivots %d < phase-1 pivots %d", sol.Stats.Pivots, sol.Stats.Phase1Pivots)
+	}
+	// All-<= constraints with nonnegative RHS start feasible: no phase 1.
+	if sol.Stats.Phase1Pivots != 0 {
+		t.Fatalf("phase-1 pivots = %d, want 0 for a feasible start", sol.Stats.Phase1Pivots)
+	}
+
+	// An infeasible problem still reports the phase-1 work it did.
+	q := NewMaximize(1)
+	q.SetObjective(0, 1)
+	mustAdd(t, q, Constraint{Terms: []Term{{0, 1}}, Sense: LessEq, RHS: 1})
+	mustAdd(t, q, Constraint{Terms: []Term{{0, 1}}, Sense: GreaterEq, RHS: 2})
+	sol2, err := q.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol2.Status)
+	}
+	if sol2.Stats.Pivots == 0 || sol2.Stats.Phase1Pivots == 0 {
+		t.Fatalf("infeasible solve reported no phase-1 work: %+v", sol2.Stats)
+	}
+}
+
 func TestStatusStrings(t *testing.T) {
 	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
 		t.Error("status strings wrong")

@@ -11,11 +11,19 @@ type Summary struct {
 	n    int
 	mean float64
 	m2   float64
+	min  float64
+	max  float64
 }
 
 // Add records one observation.
 func (s *Summary) Add(x float64) {
 	s.n++
+	if s.n == 1 || x < s.min {
+		s.min = x
+	}
+	if s.n == 1 || x > s.max {
+		s.max = x
+	}
 	delta := x - s.mean
 	s.mean += delta / float64(s.n)
 	s.m2 += delta * (x - s.mean)
@@ -26,6 +34,12 @@ func (s *Summary) N() int { return s.n }
 
 // Mean reports the sample mean (0 when empty).
 func (s *Summary) Mean() float64 { return s.mean }
+
+// Min reports the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
 
 // Variance reports the unbiased sample variance (0 for fewer than two
 // observations).
@@ -59,6 +73,12 @@ func (s *Summary) Merge(o Summary) {
 	if s.n == 0 {
 		*s = o
 		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
 	}
 	n := float64(s.n + o.n)
 	delta := o.mean - s.mean

@@ -79,6 +79,61 @@ func TestMergeEmptyCases(t *testing.T) {
 	}
 }
 
+func TestMinMax(t *testing.T) {
+	var s Summary
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary: min/max should be 0")
+	}
+	s.Add(-3)
+	if s.Min() != -3 || s.Max() != -3 {
+		t.Fatalf("single observation: min %v max %v, want -3/-3", s.Min(), s.Max())
+	}
+	for _, x := range []float64{2, -7, 4, 0} {
+		s.Add(x)
+	}
+	if s.Min() != -7 || s.Max() != 4 {
+		t.Fatalf("min %v max %v, want -7/4", s.Min(), s.Max())
+	}
+}
+
+func TestMinMaxAllPositive(t *testing.T) {
+	// The zero value's internal min is 0; it must not leak into a summary
+	// whose observations are all above zero.
+	var s Summary
+	for _, x := range []float64{5, 3, 8} {
+		s.Add(x)
+	}
+	if s.Min() != 3 || s.Max() != 8 {
+		t.Fatalf("min %v max %v, want 3/8", s.Min(), s.Max())
+	}
+}
+
+func TestMergeMinMax(t *testing.T) {
+	var a, b Summary
+	for _, x := range []float64{4, 6} {
+		a.Add(x)
+	}
+	for _, x := range []float64{1, 9} {
+		b.Add(x)
+	}
+	a.Merge(b)
+	if a.Min() != 1 || a.Max() != 9 {
+		t.Fatalf("merged min %v max %v, want 1/9", a.Min(), a.Max())
+	}
+	// Merging into empty copies the extremes too.
+	var c Summary
+	c.Merge(a)
+	if c.Min() != 1 || c.Max() != 9 {
+		t.Fatalf("merge into empty: min %v max %v, want 1/9", c.Min(), c.Max())
+	}
+	// Merging empty leaves them unchanged.
+	var d Summary
+	a.Merge(d)
+	if a.Min() != 1 || a.Max() != 9 {
+		t.Fatalf("merge of empty changed extremes: min %v max %v", a.Min(), a.Max())
+	}
+}
+
 func TestCIShrinksWithSamples(t *testing.T) {
 	src := rng.New(10)
 	var small, large Summary

@@ -7,6 +7,7 @@ import (
 
 	"surfnet/internal/lp"
 	"surfnet/internal/network"
+	"surfnet/internal/telemetry"
 )
 
 // Formulation is the LP relaxation of the routing integer program (Eq. 1-6)
@@ -339,6 +340,8 @@ type LPResult struct {
 	Y []float64
 	// Objective is the LP optimum (an upper bound on integral throughput).
 	Objective float64
+	// Stats reports the simplex effort spent on this solve.
+	Stats lp.Stats
 }
 
 // SolveLP solves the relaxation and extracts the Y_k values.
@@ -347,7 +350,7 @@ func (f *Formulation) SolveLP() (LPResult, error) {
 	if err != nil {
 		return LPResult{}, err
 	}
-	res := LPResult{Status: sol.Status, Objective: sol.Objective}
+	res := LPResult{Status: sol.Status, Objective: sol.Objective, Stats: sol.Stats}
 	if sol.Status != lp.Optimal {
 		return res, nil
 	}
@@ -363,40 +366,68 @@ func (f *Formulation) SolveLP() (LPResult, error) {
 // schedule by admitting codes greedily in decreasing fractional-Y order.
 // For purification designs (no IP formulation) it falls back to Greedy.
 func ScheduleLP(net *network.Network, reqs []network.Request, p Params) (Schedule, error) {
-	if p.Design != SurfNet && p.Design != Raw {
+	fallback := func(reason string) (Schedule, error) {
+		p.Metrics.Counter("routing.greedy_fallbacks").Inc()
+		telemetry.Emit(p.Tracer, telemetry.Ev("routing.greedy_fallback",
+			"reason", reason, "requests", len(reqs)))
 		return Greedy(net, reqs, p, nil, nil)
+	}
+	if p.Design != SurfNet && p.Design != Raw {
+		return fallback("design-without-formulation")
 	}
 	if len(p.AdaptiveDistances) > 0 {
 		// The Eq. (1)-(6) program fixes one code size; QoS-adaptive
 		// sizing is a per-code decision, handled by the greedy stage.
-		return Greedy(net, reqs, p, nil, nil)
+		return fallback("adaptive-code-sizing")
 	}
 	form, err := BuildLP(net, reqs, p)
 	if err != nil {
 		return Schedule{}, err
 	}
 	res, err := form.SolveLP()
+	if err == nil {
+		p.Metrics.Counter("routing.lp_solves").Inc()
+		p.Metrics.Counter("routing.lp_pivots").Add(int64(res.Stats.Pivots))
+		p.Metrics.Counter("routing.lp_iterations").Add(int64(res.Stats.Iterations))
+		p.Metrics.Counter("routing.lp_degenerate_pivots").Add(int64(res.Stats.DegeneratePivots))
+		telemetry.Emit(p.Tracer, telemetry.Ev("routing.lp_solved",
+			"status", res.Status.String(), "objective", res.Objective,
+			"pivots", res.Stats.Pivots, "iterations", res.Stats.Iterations,
+			"degenerate", res.Stats.DegeneratePivots,
+			"vars", form.Problem.NumVars(), "constraints", form.Problem.NumConstraints()))
+	}
 	if err != nil {
 		// Solver failures (e.g. the iteration budget on a heavily
 		// degenerate instance) degrade to greedy admission rather than
 		// aborting the round: the online network must always schedule.
-		return Greedy(net, reqs, p, nil, nil)
+		p.Metrics.Counter("routing.lp_errors").Inc()
+		return fallback("solver-error")
 	}
 	if res.Status != lp.Optimal {
 		// Infeasible relaxations only arise from zero-capacity corner
 		// cases; fall back to greedy admission, which degrades to an
 		// empty schedule gracefully.
-		return Greedy(net, reqs, p, nil, nil)
+		return fallback("lp-" + res.Status.String())
 	}
 	targets := make([]int, len(reqs))
 	order := make([]int, len(reqs))
+	roundedUp, roundedDown := 0, 0
 	for k := range reqs {
 		targets[k] = int(math.Floor(res.Y[k] + 0.5))
 		if targets[k] > reqs[k].Messages {
 			targets[k] = reqs[k].Messages
 		}
+		if float64(targets[k]) > res.Y[k] {
+			roundedUp++
+		} else if float64(targets[k]) < res.Y[k] {
+			roundedDown++
+		}
+		telemetry.Emit(p.Tracer, telemetry.Ev("routing.rounding",
+			"request", k, "y", res.Y[k], "target", targets[k]))
 		order[k] = k
 	}
+	p.Metrics.Counter("routing.rounded_up").Add(int64(roundedUp))
+	p.Metrics.Counter("routing.rounded_down").Add(int64(roundedDown))
 	sort.SliceStable(order, func(i, j int) bool {
 		return res.Y[order[i]] > res.Y[order[j]]
 	})

@@ -7,6 +7,7 @@ import (
 	"surfnet/internal/graph"
 	"surfnet/internal/network"
 	"surfnet/internal/quantum"
+	"surfnet/internal/telemetry"
 )
 
 // Greedy builds an integral schedule by admitting codes one at a time along
@@ -44,6 +45,7 @@ func Greedy(net *network.Network, reqs []network.Request, p Params, targets []in
 	for i, r := range reqs {
 		sched.Requests[i] = RequestSchedule{Request: r}
 	}
+	admitted, shortfall := 0, 0
 	for _, k := range order {
 		r := reqs[k]
 		limit := targets[k]
@@ -53,11 +55,17 @@ func Greedy(net *network.Network, reqs []network.Request, p Params, targets []in
 		for c := 0; c < limit; c++ {
 			route, ok := scheduleOneCode(cs, r, p)
 			if !ok {
+				shortfall += limit - c
+				telemetry.Emit(p.Tracer, telemetry.Ev("routing.admission_stop",
+					"request", k, "admitted", c, "target", limit))
 				break // resources or noise exhausted for this request
 			}
 			sched.Requests[k].Codes = append(sched.Requests[k].Codes, route)
+			admitted++
 		}
 	}
+	p.Metrics.Counter("routing.codes_admitted").Add(int64(admitted))
+	p.Metrics.Counter("routing.codes_unadmitted").Add(int64(shortfall))
 	return sched, nil
 }
 

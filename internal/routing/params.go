@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"surfnet/internal/quantum"
+	"surfnet/internal/telemetry"
 )
 
 // Design selects a network design from §VI-B.
@@ -97,6 +98,14 @@ type Params struct {
 	// TotalThreshold are specified; thresholds scale as (d-1)/(ref-1) for
 	// other distances. Zero selects 5.
 	ReferenceDistance int
+	// Metrics, when non-nil, receives scheduler counters: LP solves,
+	// simplex pivots/iterations, rounding decisions, greedy admissions
+	// and fallbacks. It is instrumentation, not a Table I parameter, and
+	// the nil default is a no-op.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives routing events (LP solve outcomes,
+	// per-request rounding decisions, greedy fallbacks).
+	Tracer telemetry.Tracer
 }
 
 // CodeDims returns the Core and Support sizes of a distance-d planar code

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event is one trace record: a slot-level engine event (teleport hop, photon
+// loss, decode, fiber crash, recovery, delivery) or a routing event (LP
+// solve, rounding decision, greedy fallback). Events serialize to one JSON
+// line with a stable key order — "event" first, then "slot"/"req"/"code"
+// when set, then the remaining attributes sorted by key — so traces are
+// byte-stable for golden tests and replay tooling.
+type Event struct {
+	// Type names the event, dot-namespaced by subsystem
+	// (e.g. "core.photon_loss", "routing.lp_solved").
+	Type string
+	// Slot is the engine slot the event occurred in; negative means the
+	// event is not slot-scoped (routing events) and the field is omitted.
+	Slot int
+	// Req and Code identify the communication; negative omits them.
+	Req, Code int
+	// Attrs carries event-specific fields. Values must be JSON-encodable.
+	Attrs map[string]any
+}
+
+// Ev constructs a non-slot-scoped event from alternating key, value pairs.
+func Ev(typ string, kv ...any) Event {
+	ev := Event{Type: typ, Slot: -1, Req: -1, Code: -1}
+	if len(kv) > 0 {
+		ev.Attrs = make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			ev.Attrs[fmt.Sprint(kv[i])] = kv[i+1]
+		}
+	}
+	return ev
+}
+
+// MarshalJSON renders the event as a single stable-order JSON object.
+func (e Event) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteString(`{"event":`)
+	b.WriteString(quoteJSON(e.Type))
+	if e.Slot >= 0 {
+		fmt.Fprintf(&b, `,"slot":%d`, e.Slot)
+	}
+	if e.Req >= 0 {
+		fmt.Fprintf(&b, `,"req":%d`, e.Req)
+	}
+	if e.Code >= 0 {
+		fmt.Fprintf(&b, `,"code":%d`, e.Code)
+	}
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v, err := json.Marshal(e.Attrs[k])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: event %s attr %s: %w", e.Type, k, err)
+		}
+		b.WriteString(",")
+		b.WriteString(quoteJSON(k))
+		b.WriteString(":")
+		b.Write(v)
+	}
+	b.WriteString("}")
+	return []byte(b.String()), nil
+}
+
+func quoteJSON(s string) string {
+	out, _ := json.Marshal(s)
+	return string(out)
+}
+
+// Tracer receives events. Implementations must be safe for concurrent use.
+// A nil Tracer is the no-op default; emit through the package-level Emit (or
+// guard with a nil check) rather than calling a method on a nil interface.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Emit sends ev to t when tracing is enabled; the nil-tracer fast path is a
+// single branch.
+func Emit(t Tracer, ev Event) {
+	if t != nil {
+		t.Emit(ev)
+	}
+}
+
+// JSONL is a Tracer writing one JSON object per line through a buffered
+// writer. Close (or Flush) must be called to drain the buffer.
+type JSONL struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	under   io.Writer
+	err     error
+	emitted int64
+}
+
+// NewJSONL returns a JSONL tracer over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w), under: w}
+}
+
+// Emit implements Tracer. Serialization errors are sticky and reported by
+// Err; they do not panic the instrumented hot path.
+func (t *JSONL) Emit(ev Event) {
+	line, err := json.Marshal(ev)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	if t.err != nil {
+		return
+	}
+	t.emitted++
+	if _, err := t.w.Write(line); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
+		t.err = err
+	}
+}
+
+// Emitted reports how many events have been written.
+func (t *JSONL) Emitted() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Flush drains the buffer and reports any sticky error.
+func (t *JSONL) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Close flushes and, when the underlying writer is an io.Closer, closes it.
+func (t *JSONL) Close() error {
+	err := t.Flush()
+	if c, ok := t.under.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

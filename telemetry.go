@@ -1,0 +1,33 @@
+package surfnet
+
+import (
+	"io"
+
+	"surfnet/internal/telemetry"
+)
+
+// Metrics is a concurrent-safe registry of counters, gauges, and latency/size
+// histograms. The engine, scheduler, and decoders record into one when it is
+// wired into their configs; a nil *Metrics disables collection everywhere at
+// the cost of one nil check per event.
+type Metrics = telemetry.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return telemetry.NewRegistry() }
+
+// MetricsSnapshot is a frozen, sorted view of a registry.
+type MetricsSnapshot = telemetry.Snapshot
+
+// Tracer receives slot-level engine events and routing events. Nil disables
+// tracing.
+type Tracer = telemetry.Tracer
+
+// TraceEvent is one traced event.
+type TraceEvent = telemetry.Event
+
+// JSONLTracer writes one JSON object per event to an io.Writer.
+type JSONLTracer = telemetry.JSONL
+
+// NewJSONLTracer returns a buffered tracer writing JSON Lines to w. Call
+// Flush (or Close) after the run to drain the buffer.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return telemetry.NewJSONL(w) }
