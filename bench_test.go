@@ -105,6 +105,51 @@ func BenchmarkFig8(b *testing.B) {
 	}
 }
 
+// BenchmarkCellWorkers compares serial and parallel evaluation of the
+// Fig. 6(a) cells at increasing worker-pool sizes. Results are identical for
+// every worker count (internal/sim seeds trials by index); only wall time
+// changes, so ns/op across the sub-benchmarks is the speedup table.
+func BenchmarkCellWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := surfnet.DefaultExperiments()
+			cfg.Trials = 16
+			cfg.Requests = 4
+			cfg.MaxMessages = 2
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				if _, err := surfnet.Fig6a(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Workers compares serial and parallel evaluation of one Fig. 8
+// threshold point (d=9, both decoders) at increasing worker-pool sizes; the
+// parallel path also exercises the per-worker decoder scratch arenas.
+func BenchmarkFig8Workers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := surfnet.DefaultFig8()
+			cfg.Trials = 64
+			cfg.Distances = []int{9}
+			cfg.PauliRates = []float64{0.07}
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				if _, err := surfnet.Fig8(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // decodeOnce samples one Fig. 8-style error and decodes it with dec.
 func decodeOnce(b *testing.B, code *surfacecode.Code, dec decoder.Decoder, src *rng.Source,
 	nm *surfacecode.NoiseModel, probs []float64) {

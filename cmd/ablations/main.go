@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	ablations [-study adaptive|stepsize|corelayout|erasure|wait|all] [-trials N] [-seed S]
+//	ablations [-study adaptive|stepsize|corelayout|erasure|scheduler|wait|all]
+//	          [-trials N] [-seed S] [-workers N]
+//	          [-metrics-out F] [-trace-out F] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"surfnet/internal/cliutil"
 	"surfnet/internal/experiments"
 )
 
@@ -24,12 +27,29 @@ func run() int {
 	study := flag.String("study", "all", "study to run: adaptive, stepsize, corelayout, erasure, scheduler, wait, or all")
 	trials := flag.Int("trials", 2000, "Monte-Carlo trials per decoder point / networks per cell (scaled down x100 for network studies)")
 	seed := flag.Uint64("seed", 1, "root random seed")
+	var obs cliutil.Observability
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := obs.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
+		return 1
+	}
 
 	netCfg := experiments.DefaultConfig()
 	netCfg.Seed = *seed
 	netCfg.Trials = max(2, *trials/100)
 	netCfg.Requests = 6
+	netCfg.Workers = obs.Workers
+	netCfg.Metrics = obs.Registry
+	netCfg.Tracer = obs.TracerOrNil()
+
+	decCfg := experiments.DecoderStudyConfig{
+		Seed:    *seed,
+		Trials:  *trials,
+		Workers: obs.Workers,
+		Metrics: obs.Registry,
+	}
 
 	runStudy := func(name string) error {
 		switch name {
@@ -41,14 +61,14 @@ func run() int {
 			fmt.Println("Adaptive code sizing (insufficient facilities):")
 			fmt.Print(experiments.FormatAblation(rows))
 		case "stepsize":
-			pts, err := experiments.StepSizeStudy(*seed, *trials, nil)
+			pts, err := experiments.StepSizeStudy(decCfg, nil)
 			if err != nil {
 				return err
 			}
 			fmt.Println("SurfNet Decoder step size r (d=11, p=7%, erasure 15%):")
 			fmt.Print(experiments.FormatDecoderPoints(pts))
 		case "corelayout":
-			byLayout, err := experiments.CoreLayoutStudy(*seed, *trials)
+			byLayout, err := experiments.CoreLayoutStudy(decCfg)
 			if err != nil {
 				return err
 			}
@@ -57,7 +77,7 @@ func run() int {
 				fmt.Printf("layout: %s\n%s", layout, experiments.FormatDecoderPoints(pts))
 			}
 		case "erasure":
-			pts, err := experiments.ErasureGrowthStudy(*seed, *trials)
+			pts, err := experiments.ErasureGrowthStudy(decCfg)
 			if err != nil {
 				return err
 			}
@@ -91,8 +111,13 @@ func run() int {
 	for _, s := range studies {
 		if err := runStudy(s); err != nil {
 			fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
+			obs.Finish()
 			return 1
 		}
+	}
+	if err := obs.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
+		return 1
 	}
 	return 0
 }

@@ -7,7 +7,10 @@
 // Usage:
 //
 //	decoderbench [-trials N] [-distances 9,11,13,15] [-erasure 0.15] [-seed S] [-mwpm]
-//	             [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	             [-workers N] [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -workers sizes the deterministic trial pool (default GOMAXPROCS); results
+// are identical for every value.
 package main
 
 import (
@@ -52,6 +55,7 @@ func run() int {
 	cfg.Trials = *trials
 	cfg.ErasureRate = *erasure
 	cfg.Seed = *seed
+	cfg.Workers = obs.Workers
 	cfg.Metrics = obs.Registry
 	var ds []int
 	for _, part := range strings.Split(*distances, ",") {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	netgen [-scenario abundant|sufficient|insufficient] [-connection good|poor] [-nodes N] [-seed S]
+//	       [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"surfnet"
+	"surfnet/internal/cliutil"
 )
 
 func main() {
@@ -25,7 +27,19 @@ func run() int {
 	connection := flag.String("connection", "good", "fiber quality: good ([0.75,1]) or poor ([0.5,1])")
 	nodes := flag.Int("nodes", 24, "node count (paper: over 20)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	var obs cliutil.Observability
+	obs.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := obs.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := obs.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+		}
+	}()
 
 	var fac surfnet.Facilities
 	switch *scenario {

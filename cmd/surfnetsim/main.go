@@ -6,7 +6,10 @@
 // Usage:
 //
 //	surfnetsim -fig 6a|6b1|6b2|6b3|6b4|7|all [-trials N] [-requests K] [-seed S] [-greedy]
-//	           [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	           [-workers N] [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -workers sizes the deterministic trial pool (default GOMAXPROCS); results
+// are identical for every value.
 //
 // -fig accepts a comma-separated list ("-fig 6a,7"). With -metrics-out the
 // run prints a per-figure counter delta after each figure and writes the full
@@ -91,6 +94,7 @@ func run() int {
 	cfg.MaxMessages = *maxMsgs
 	cfg.Seed = *seed
 	cfg.UseLP = !*greedy
+	cfg.Workers = obs.Workers
 	cfg.Metrics = obs.Registry
 	cfg.Tracer = obs.TracerOrNil()
 

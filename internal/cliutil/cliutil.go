@@ -1,6 +1,7 @@
 // Package cliutil is the shared observability harness of the cmd tools:
 // the -metrics-out, -trace-out, -cpuprofile, and -memprofile flags, plus the
-// lifecycle around them (open profile, run, flush trace, write snapshot).
+// lifecycle around them (open profile, run, flush trace, write snapshot),
+// and the -workers flag sizing the deterministic trial pool of internal/sim.
 package cliutil
 
 import (
@@ -22,6 +23,11 @@ type Observability struct {
 	CPUProfile string
 	MemProfile string
 
+	// Workers is the Monte-Carlo trial pool size. Results are identical
+	// for every value (trials are seeded by index, not worker), so this
+	// only trades wall time for cores.
+	Workers int
+
 	// Registry is non-nil once Start ran with -metrics-out set, or after
 	// ForceMetrics; pass it to the experiment configs.
 	Registry *telemetry.Registry
@@ -32,12 +38,14 @@ type Observability struct {
 	traceFile *os.File
 }
 
-// Register defines the four observability flags on fs.
+// Register defines the observability and worker-pool flags on fs.
 func (o *Observability) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 	fs.StringVar(&o.TraceOut, "trace-out", "", "write a JSONL event trace to this file")
 	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&o.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.IntVar(&o.Workers, "workers", runtime.GOMAXPROCS(0),
+		"trial worker-pool size (results are identical for any value; 1 forces serial)")
 }
 
 // ForceMetrics ensures a registry exists even without -metrics-out, for

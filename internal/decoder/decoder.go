@@ -71,6 +71,15 @@ type Decoder interface {
 	Decode(in Input) ([]int, error)
 }
 
+// ScratchDecoder is a Decoder that can decode on a caller-owned arena,
+// reusing its buffers instead of allocating per call. The returned
+// correction aliases the scratch and is valid until the next DecodeWith with
+// the same Scratch; a nil Scratch must behave exactly like Decode.
+type ScratchDecoder interface {
+	Decoder
+	DecodeWith(in Input, s *Scratch) ([]int, error)
+}
+
 // Probability clamps for weight computation: a zero probability would give
 // infinite weight (and zero growth speed), stalling cluster growth; a
 // probability at or above 1/2 would give non-positive weight.
@@ -145,12 +154,45 @@ func DecodeFrame(c *surfacecode.Code, dec Decoder, frame quantum.Frame, erased [
 // "decode_seconds", "syndrome_weight" and "correction_weight" histograms,
 // and a "logical_failures" counter. A nil registry records nothing.
 func DecodeFrameMetered(c *surfacecode.Code, dec Decoder, frame quantum.Frame, erased []bool, errProb []float64, reg *telemetry.Registry) (Result, FrameStats, error) {
+	return DecodeFrameWith(c, dec, frame, erased, errProb, reg, nil)
+}
+
+// DecodeFrameWith is DecodeFrameMetered with a caller-owned scratch arena:
+// when s is non-nil, every per-call buffer (residual frame, syndrome lists,
+// cluster growth and peeling state of ScratchDecoders) is reused from s, so
+// steady-state frame decoding allocates nothing. Result.Residual then
+// aliases the arena and is valid only until the next DecodeFrameWith with
+// the same Scratch. A nil Scratch is exactly DecodeFrameMetered; decoders
+// that do not implement ScratchDecoder fall back to Decode.
+func DecodeFrameWith(c *surfacecode.Code, dec Decoder, frame quantum.Frame, erased []bool, errProb []float64, reg *telemetry.Registry, s *Scratch) (Result, FrameStats, error) {
 	start := time.Now()
-	res := Result{Residual: frame.Clone()}
+	var res Result
+	if s != nil {
+		s.residual = append(s.residual[:0], frame...)
+		res.Residual = s.residual
+	} else {
+		res.Residual = frame.Clone()
+	}
+	sd, hasScratch := dec.(ScratchDecoder)
+	decode := func(in Input) ([]int, error) {
+		if hasScratch {
+			return sd.DecodeWith(in, s)
+		}
+		return dec.Decode(in)
+	}
+	syndrome := func(kind surfacecode.GraphKind, f quantum.Frame, buf []int) []int {
+		if s != nil {
+			return s.syndrome(c, kind, f, buf)
+		}
+		return c.Syndrome(kind, f)
+	}
 	var stats FrameStats
 	// X-type components live on the Z-graph; corrections are X flips.
-	zSyn := c.Syndrome(surfacecode.ZGraph, frame)
-	zCorr, err := dec.Decode(Input{
+	zSyn := syndrome(surfacecode.ZGraph, frame, s.zSynBuf())
+	if s != nil {
+		s.zSyn = zSyn
+	}
+	zCorr, err := decode(Input{
 		Graph:     c.Graph(surfacecode.ZGraph),
 		Syndromes: zSyn,
 		Erased:    erased,
@@ -162,9 +204,15 @@ func DecodeFrameMetered(c *surfacecode.Code, dec Decoder, frame quantum.Frame, e
 	for _, q := range zCorr {
 		res.Residual.Apply(q, quantum.X)
 	}
+	// The z-side weights must be captured now: with a scratch arena the
+	// x-side decode below reuses the same syndrome and correction buffers.
+	zSynW, zCorrW := len(zSyn), len(zCorr)
 	// Z-type components live on the X-graph; corrections are Z flips.
-	xSyn := c.Syndrome(surfacecode.XGraph, frame)
-	xCorr, err := dec.Decode(Input{
+	xSyn := syndrome(surfacecode.XGraph, frame, s.xSynBuf())
+	if s != nil {
+		s.xSyn = xSyn
+	}
+	xCorr, err := decode(Input{
 		Graph:     c.Graph(surfacecode.XGraph),
 		Syndromes: xSyn,
 		Erased:    erased,
@@ -176,17 +224,18 @@ func DecodeFrameMetered(c *surfacecode.Code, dec Decoder, frame quantum.Frame, e
 	for _, q := range xCorr {
 		res.Residual.Apply(q, quantum.Z)
 	}
-	if s := c.Syndrome(surfacecode.ZGraph, res.Residual); len(s) != 0 {
-		return Result{}, stats, fmt.Errorf("decoder %s left %d Z-graph syndromes", dec.Name(), len(s))
+	xSynW, xCorrW := len(xSyn), len(xCorr)
+	if left := syndrome(surfacecode.ZGraph, res.Residual, s.zSynBuf()); len(left) != 0 {
+		return Result{}, stats, fmt.Errorf("decoder %s left %d Z-graph syndromes", dec.Name(), len(left))
 	}
-	if s := c.Syndrome(surfacecode.XGraph, res.Residual); len(s) != 0 {
-		return Result{}, stats, fmt.Errorf("decoder %s left %d X-graph syndromes", dec.Name(), len(s))
+	if left := syndrome(surfacecode.XGraph, res.Residual, s.xSynBuf()); len(left) != 0 {
+		return Result{}, stats, fmt.Errorf("decoder %s left %d X-graph syndromes", dec.Name(), len(left))
 	}
 	res.LogicalX = c.HasLogicalError(surfacecode.ZGraph, res.Residual)
 	res.LogicalZ = c.HasLogicalError(surfacecode.XGraph, res.Residual)
 	stats = FrameStats{
-		SyndromeWeight:   len(zSyn) + len(xSyn),
-		CorrectionWeight: len(zCorr) + len(xCorr),
+		SyndromeWeight:   zSynW + xSynW,
+		CorrectionWeight: zCorrW + xCorrW,
 		Elapsed:          time.Since(start),
 	}
 	if reg != nil {

@@ -235,7 +235,7 @@ func TestPeelHandBuilt(t *testing.T) {
 	syn := c.Syndrome(surfacecode.ZGraph, f)
 	in := uniformInput(c, surfacecode.ZGraph, syn, nil, 0.05)
 	// Dense edge indices equal data-qubit ids in construction order.
-	corr, err := peel(in, []int{qa, qb})
+	corr, err := peel(in, []int{qa, qb}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestPeelDetectsBadSupport(t *testing.T) {
 	f[qa] = quantum.X
 	syn := c.Syndrome(surfacecode.ZGraph, f)[:1]
 	in := uniformInput(c, surfacecode.ZGraph, syn, nil, 0.05)
-	if _, err := peel(in, nil); err == nil {
+	if _, err := peel(in, nil, nil); err == nil {
 		t.Fatal("peel should reject support violating the cluster invariant")
 	}
 }

@@ -25,22 +25,21 @@ type growthConfig struct {
 }
 
 // clusterState tracks per-cluster parity and boundary contact, keyed by
-// union-find root.
+// union-find root. Its buffers live in the decode Scratch.
 type clusterState struct {
 	uf       *graph.UnionFind
 	odd      []bool // odd number of syndromes in cluster
 	boundary []bool // cluster touches a virtual boundary vertex
 }
 
-func newClusterState(in Input) *clusterState {
+func newClusterState(in Input, s *Scratch) clusterState {
 	nv := in.Graph.G.NumVertices()
-	cs := &clusterState{
-		uf:       graph.NewUnionFind(nv),
-		odd:      make([]bool, nv),
-		boundary: make([]bool, nv),
-	}
-	for _, s := range in.Syndromes {
-		cs.odd[s] = true
+	s.uf = ufFor(s.uf, nv)
+	s.odd = growBools(s.odd, nv)
+	s.boundary = growBools(s.boundary, nv)
+	cs := clusterState{uf: s.uf, odd: s.odd, boundary: s.boundary}
+	for _, syn := range in.Syndromes {
+		cs.odd[syn] = true
 	}
 	cs.boundary[in.Graph.BoundaryA()] = true
 	cs.boundary[in.Graph.BoundaryB()] = true
@@ -69,8 +68,8 @@ func (cs *clusterState) fuse(u, v int) {
 
 // anyActive reports whether any odd cluster remains.
 func (cs *clusterState) anyActive(in Input) bool {
-	for _, s := range in.Syndromes {
-		if cs.active(s) {
+	for _, syn := range in.Syndromes {
+		if cs.active(syn) {
 			return true
 		}
 	}
@@ -81,14 +80,19 @@ func (cs *clusterState) anyActive(in Input) bool {
 // returns the support: the dense edge indices that were grown or pre-grown.
 // Growth is synchronous: contributions are computed against the cluster
 // state at the start of each round, and fusions happen at the round's end,
-// matching the round structure of [32].
-func growClusters(in Input, cfg growthConfig) ([]int, error) {
+// matching the round structure of [32]. The returned slice aliases the
+// scratch; a nil Scratch allocates a throwaway arena.
+func growClusters(in Input, cfg growthConfig, s *Scratch) ([]int, error) {
+	if s == nil {
+		s = NewScratch()
+	}
 	dg := in.Graph
-	cs := newClusterState(in)
+	cs := newClusterState(in, s)
 	nE := dg.G.NumEdges()
-	growth := make([]float64, nE)
-	grown := make([]bool, nE)
-	var support []int
+	s.growth = growFloats(s.growth, nE)
+	s.grown = growBools(s.grown, nE)
+	growth, grown := s.growth, s.grown
+	support := s.support[:0]
 
 	absorb := func(ei int) {
 		grown[ei] = true
@@ -108,7 +112,7 @@ func growClusters(in Input, cfg growthConfig) ([]int, error) {
 		if round >= maxGrowthRounds {
 			return nil, fmt.Errorf("decoder: cluster growth did not converge after %d rounds", maxGrowthRounds)
 		}
-		var completed []int
+		completed := s.completed[:0]
 		for ei := 0; ei < nE; ei++ {
 			if grown[ei] {
 				continue
@@ -138,6 +142,8 @@ func growClusters(in Input, cfg growthConfig) ([]int, error) {
 			e := dg.G.Edge(ei)
 			cs.fuse(e.U, e.V)
 		}
+		s.completed = completed
 	}
+	s.support = support
 	return support, nil
 }

@@ -12,39 +12,46 @@ import (
 //
 // The support must satisfy the cluster invariant: every connected component
 // either contains an even number of syndromes or touches a virtual boundary
-// vertex. peel returns an error otherwise.
-func peel(in Input, support []int) ([]int, error) {
+// vertex. peel returns an error otherwise. The returned correction aliases
+// the scratch; a nil Scratch allocates a throwaway arena.
+func peel(in Input, support []int, s *Scratch) ([]int, error) {
+	if s == nil {
+		s = NewScratch()
+	}
 	dg := in.Graph
 	nv := dg.G.NumVertices()
-	forest := dg.G.SpanningForest(support)
 
-	// Adjacency restricted to forest edges.
-	adj := make([][]int32, nv)
-	for _, ei := range forest {
+	// Spanning forest of the support, built on the scratch union-find
+	// (equivalent to dg.G.SpanningForest but allocation-free). Forest edges
+	// go straight into the restricted adjacency.
+	s.forestUF = ufFor(s.forestUF, nv)
+	adj := s.adjFor(nv)
+	for _, ei := range support {
 		e := dg.G.Edge(ei)
-		adj[e.U] = append(adj[e.U], int32(ei))
-		adj[e.V] = append(adj[e.V], int32(ei))
+		if _, merged := s.forestUF.Union(e.U, e.V); merged {
+			adj[e.U] = append(adj[e.U], int32(ei))
+			adj[e.V] = append(adj[e.V], int32(ei))
+		}
 	}
 
-	syndrome := make([]bool, nv)
-	for _, s := range in.Syndromes {
-		syndrome[s] = true
+	s.synMask = growBools(s.synMask, nv)
+	syndrome := s.synMask
+	for _, v := range in.Syndromes {
+		syndrome[v] = true
 	}
 
 	// Root each tree, preferring boundary vertices; produce a BFS order so
 	// that reversing it peels leaves first.
-	visited := make([]bool, nv)
-	parentEdge := make([]int32, nv)
-	for i := range parentEdge {
-		parentEdge[i] = -1
-	}
-	var order []int
+	s.visited = growBools(s.visited, nv)
+	visited := s.visited
+	s.parentEdge = growInt32(s.parentEdge, nv, -1)
+	parentEdge := s.parentEdge
+	order := s.order[:0]
 	bfs := func(root int) {
 		visited[root] = true
-		queue := []int{root}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		queue := append(s.queue[:0], root)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			order = append(order, v)
 			for _, ei := range adj[v] {
 				u := dg.G.Other(int(ei), v)
@@ -55,6 +62,7 @@ func peel(in Input, support []int) ([]int, error) {
 				}
 			}
 		}
+		s.queue = queue
 	}
 	// Boundary-rooted trees first.
 	for _, b := range []int{dg.BoundaryA(), dg.BoundaryB()} {
@@ -67,10 +75,11 @@ func peel(in Input, support []int) ([]int, error) {
 			bfs(v)
 		}
 	}
+	s.order = order
 
 	// Peel in reverse BFS order: every non-root vertex hands its live
 	// syndrome to its parent through its parent edge.
-	var corr []int
+	corr := s.corr[:0]
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		ei := parentEdge[v]
@@ -84,6 +93,7 @@ func peel(in Input, support []int) ([]int, error) {
 			syndrome[p] = !syndrome[p]
 		}
 	}
+	s.corr = corr
 	// All remaining parity must sit on boundary vertices (absorbed) —
 	// anything else means the support violated the cluster invariant.
 	for v := 0; v < dg.NumReal; v++ {

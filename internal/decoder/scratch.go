@@ -1,0 +1,153 @@
+package decoder
+
+import (
+	"surfnet/internal/graph"
+	"surfnet/internal/quantum"
+	"surfnet/internal/surfacecode"
+)
+
+// Scratch is a reusable decode arena: every slice the cluster-growth engine,
+// the peeling decoder, and the frame harness would otherwise allocate per
+// call. Monte Carlo loops keep one Scratch per worker and thread it through
+// DecodeFrameWith so steady-state decoding stops allocating per trial.
+//
+// A Scratch is owned by one goroutine at a time; the zero value is ready to
+// use. Slices returned by scratch-backed calls (corrections, syndromes,
+// Result.Residual) alias the arena and are valid only until the next call
+// that receives the same Scratch.
+type Scratch struct {
+	// Cluster growth (growth.go).
+	uf        *graph.UnionFind
+	odd       []bool
+	boundary  []bool
+	growth    []float64
+	grown     []bool
+	support   []int
+	completed []int
+
+	// Peeling (peeling.go).
+	forestUF   *graph.UnionFind
+	adj        [][]int32
+	synMask    []bool
+	visited    []bool
+	parentEdge []int32
+	order      []int
+	queue      []int
+	corr       []int
+
+	// Frame harness (decoder.go).
+	parity   []bool
+	zSyn     []int
+	xSyn     []int
+	residual quantum.Frame
+}
+
+// NewScratch returns an empty arena. Buffers are sized lazily by the first
+// decode that uses them.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// zSynBuf and xSynBuf expose the syndrome buffers nil-safely, so the frame
+// harness can thread them whether or not an arena is in use.
+func (s *Scratch) zSynBuf() []int {
+	if s == nil {
+		return nil
+	}
+	return s.zSyn
+}
+
+func (s *Scratch) xSynBuf() []int {
+	if s == nil {
+		return nil
+	}
+	return s.xSyn
+}
+
+// growBools returns a zeroed length-n bool slice, reusing buf's capacity.
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// growFloats returns a zeroed length-n float64 slice, reusing buf's capacity.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growInt32 returns a length-n int32 slice filled with fill, reusing buf.
+func growInt32(buf []int32, n int, fill int32) []int32 {
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	} else {
+		buf = buf[:n]
+	}
+	for i := range buf {
+		buf[i] = fill
+	}
+	return buf
+}
+
+// ufFor returns uf reset to n elements, allocating it on first use.
+func ufFor(uf *graph.UnionFind, n int) *graph.UnionFind {
+	if uf == nil {
+		return graph.NewUnionFind(n)
+	}
+	uf.Reset(n)
+	return uf
+}
+
+// adjFor returns a length-nv adjacency scratch with every per-vertex list
+// emptied but its capacity kept.
+func (s *Scratch) adjFor(nv int) [][]int32 {
+	if cap(s.adj) < nv {
+		old := s.adj
+		s.adj = make([][]int32, nv)
+		copy(s.adj, old)
+	}
+	s.adj = s.adj[:nv]
+	for v := range s.adj {
+		s.adj[v] = s.adj[v][:0]
+	}
+	return s.adj
+}
+
+// syndrome computes the flipped-parity real vertices of the kind graph for
+// frame f — the same quantity as surfacecode.Code.Syndrome — appending into
+// out[:0] and reusing the arena's parity buffer.
+func (s *Scratch) syndrome(c *surfacecode.Code, kind surfacecode.GraphKind, f quantum.Frame, out []int) []int {
+	dg := c.Graph(kind)
+	s.parity = growBools(s.parity, dg.NumReal)
+	parity := s.parity
+	for q, p := range f {
+		triggers := (kind == surfacecode.ZGraph && p.HasX()) || (kind == surfacecode.XGraph && p.HasZ())
+		if !triggers {
+			continue
+		}
+		e := dg.G.Edge(q)
+		if e.U < dg.NumReal {
+			parity[e.U] = !parity[e.U]
+		}
+		if e.V < dg.NumReal {
+			parity[e.V] = !parity[e.V]
+		}
+	}
+	out = out[:0]
+	for v, on := range parity {
+		if on {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -10,14 +10,20 @@ import (
 // fidelity, and the peeling decoder extracts the correction.
 type UnionFind struct{}
 
-// Compile-time interface check.
-var _ Decoder = UnionFind{}
+// Compile-time interface checks.
+var (
+	_ Decoder        = UnionFind{}
+	_ ScratchDecoder = UnionFind{}
+)
 
 // Name implements Decoder.
 func (UnionFind) Name() string { return "union-find" }
 
 // Decode implements Decoder.
-func (UnionFind) Decode(in Input) ([]int, error) {
+func (d UnionFind) Decode(in Input) ([]int, error) { return d.DecodeWith(in, nil) }
+
+// DecodeWith implements ScratchDecoder.
+func (UnionFind) DecodeWith(in Input, s *Scratch) ([]int, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -27,11 +33,11 @@ func (UnionFind) Decode(in Input) ([]int, error) {
 	support, err := growClusters(in, growthConfig{
 		speed:           func(Input, int) float64 { return 0.5 },
 		preGrowErasures: true,
-	})
+	}, s)
 	if err != nil {
 		return nil, err
 	}
-	return peel(in, support)
+	return peel(in, support, s)
 }
 
 // SurfNet is the SurfNet Decoder of Algorithm 2: cluster growth at
@@ -57,14 +63,20 @@ type SurfNet struct {
 // DefaultStepSize is the paper's default decoder step size r = 2/3.
 const DefaultStepSize = 2.0 / 3.0
 
-// Compile-time interface check.
-var _ Decoder = SurfNet{}
+// Compile-time interface checks.
+var (
+	_ Decoder        = SurfNet{}
+	_ ScratchDecoder = SurfNet{}
+)
 
 // Name implements Decoder.
 func (SurfNet) Name() string { return "surfnet" }
 
 // Decode implements Decoder.
-func (d SurfNet) Decode(in Input) ([]int, error) {
+func (d SurfNet) Decode(in Input) ([]int, error) { return d.DecodeWith(in, nil) }
+
+// DecodeWith implements ScratchDecoder.
+func (d SurfNet) DecodeWith(in Input, s *Scratch) ([]int, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -80,11 +92,11 @@ func (d SurfNet) Decode(in Input) ([]int, error) {
 			return quantum.GrowthSpeed(1-qubitErrProb(in, q), r)
 		},
 		preGrowErasures: !d.FiniteErasureGrowth,
-	})
+	}, s)
 	if err != nil {
 		return nil, err
 	}
-	return peel(in, support)
+	return peel(in, support, s)
 }
 
 // anyErased reports whether the input contains at least one erasure.

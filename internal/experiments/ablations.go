@@ -6,6 +6,7 @@ import (
 	"surfnet/internal/decoder"
 	"surfnet/internal/routing"
 	"surfnet/internal/surfacecode"
+	"surfnet/internal/telemetry"
 	"surfnet/internal/topology"
 )
 
@@ -55,9 +56,29 @@ type DecoderPoint struct {
 	Trials      int
 }
 
+// DecoderStudyConfig parameterizes the decoder-level ablation studies
+// (step size, Core layout, erasure growth).
+type DecoderStudyConfig struct {
+	Seed uint64
+	// Trials is the Monte-Carlo sample count per variant.
+	Trials int
+	// Workers is the trial worker-pool size; <= 0 selects
+	// runtime.GOMAXPROCS(0) and 1 forces the serial path. Rates are
+	// identical for every value (see internal/sim).
+	Workers int
+	// Metrics, when non-nil, collects per-decoder telemetry across the
+	// study's trials.
+	Metrics *telemetry.Registry
+}
+
+// DefaultDecoderStudyConfig returns interactively sized study settings.
+func DefaultDecoderStudyConfig() DecoderStudyConfig {
+	return DecoderStudyConfig{Seed: 1, Trials: 200}
+}
+
 // decoderAblation measures a list of decoder variants at one (d, p, e)
 // operating point.
-func decoderAblation(seed uint64, trials, distance int, pauli, erasure float64,
+func decoderAblation(cfg DecoderStudyConfig, distance int, pauli, erasure float64,
 	layout surfacecode.CoreLayout, variants []struct {
 		name string
 		dec  decoder.Decoder
@@ -68,11 +89,11 @@ func decoderAblation(seed uint64, trials, distance int, pauli, erasure float64,
 	}
 	var out []DecoderPoint
 	for _, v := range variants {
-		rate, err := logicalRate(code, v.dec, pauli, erasure, trials, seed, nil)
+		rate, err := logicalRate(code, v.dec, pauli, erasure, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
 		}
-		out = append(out, DecoderPoint{Variant: v.name, LogicalRate: rate, Trials: trials})
+		out = append(out, DecoderPoint{Variant: v.name, LogicalRate: rate, Trials: cfg.Trials})
 	}
 	return out, nil
 }
@@ -80,7 +101,7 @@ func decoderAblation(seed uint64, trials, distance int, pauli, erasure float64,
 // StepSizeStudy sweeps the SurfNet Decoder step size r around the paper's
 // default 2/3 ("the decoder step size can be further adjusted to optimize
 // between the decoding speed and accuracy", §IV-C).
-func StepSizeStudy(seed uint64, trials int, steps []float64) ([]DecoderPoint, error) {
+func StepSizeStudy(cfg DecoderStudyConfig, steps []float64) ([]DecoderPoint, error) {
 	if steps == nil {
 		steps = []float64{1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0, 1.5}
 	}
@@ -92,16 +113,16 @@ func StepSizeStudy(seed uint64, trials int, steps []float64) ([]DecoderPoint, er
 		variants[i].name = fmt.Sprintf("r=%.3f", r)
 		variants[i].dec = decoder.SurfNet{StepSize: r}
 	}
-	return decoderAblation(seed, trials, 11, 0.07, 0.15, surfacecode.CoreLShape, variants)
+	return decoderAblation(cfg, 11, 0.07, 0.15, surfacecode.CoreLShape, variants)
 }
 
 // CoreLayoutStudy compares the fixed L-shape Core topology against the
 // diagonal alternative ("a more optimized geometry ... presents potential
 // future directions", §VI-C).
-func CoreLayoutStudy(seed uint64, trials int) (map[string][]DecoderPoint, error) {
+func CoreLayoutStudy(cfg DecoderStudyConfig) (map[string][]DecoderPoint, error) {
 	out := make(map[string][]DecoderPoint, 2)
 	for _, layout := range []surfacecode.CoreLayout{surfacecode.CoreLShape, surfacecode.CoreDiagonal} {
-		pts, err := decoderAblation(seed, trials, 11, 0.07, 0.15, layout,
+		pts, err := decoderAblation(cfg, 11, 0.07, 0.15, layout,
 			[]struct {
 				name string
 				dec  decoder.Decoder
@@ -120,8 +141,8 @@ func CoreLayoutStudy(seed uint64, trials int) (map[string][]DecoderPoint, error)
 // ErasureGrowthStudy compares the SurfNet Decoder's default erasure
 // pre-absorption against the literal finite-speed reading of Algorithm 2
 // line 5 (see decoder.SurfNet.FiniteErasureGrowth).
-func ErasureGrowthStudy(seed uint64, trials int) ([]DecoderPoint, error) {
-	return decoderAblation(seed, trials, 11, 0.07, 0.15, surfacecode.CoreLShape,
+func ErasureGrowthStudy(cfg DecoderStudyConfig) ([]DecoderPoint, error) {
+	return decoderAblation(cfg, 11, 0.07, 0.15, surfacecode.CoreLShape,
 		[]struct {
 			name string
 			dec  decoder.Decoder

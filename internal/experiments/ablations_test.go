@@ -26,7 +26,7 @@ func TestAdaptiveStudySmoke(t *testing.T) {
 }
 
 func TestStepSizeStudySmoke(t *testing.T) {
-	pts, err := StepSizeStudy(1, 30, []float64{0.5, 1.0})
+	pts, err := StepSizeStudy(DecoderStudyConfig{Seed: 1, Trials: 30}, []float64{0.5, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestStepSizeStudySmoke(t *testing.T) {
 }
 
 func TestCoreLayoutStudySmoke(t *testing.T) {
-	byLayout, err := CoreLayoutStudy(1, 30)
+	byLayout, err := CoreLayoutStudy(DecoderStudyConfig{Seed: 1, Trials: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestCoreLayoutStudySmoke(t *testing.T) {
 }
 
 func TestErasureGrowthStudySmoke(t *testing.T) {
-	pts, err := ErasureGrowthStudy(1, 30)
+	pts, err := ErasureGrowthStudy(DecoderStudyConfig{Seed: 1, Trials: 30})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"surfnet/internal/decoder"
+	"surfnet/internal/quantum"
 	"surfnet/internal/rng"
+	"surfnet/internal/sim"
 	"surfnet/internal/surfacecode"
 	"surfnet/internal/telemetry"
 )
@@ -17,6 +20,10 @@ type Fig8Config struct {
 	// Trials is the Monte-Carlo sample count per (decoder, distance,
 	// rate) point.
 	Trials int
+	// Workers is the trial worker-pool size; <= 0 selects
+	// runtime.GOMAXPROCS(0) and 1 forces the serial path. Logical rates
+	// are identical for every value (see internal/sim).
+	Workers int
 	// Distances are the evaluated code distances; the paper uses
 	// 9, 11, 13, 15.
 	Distances []int
@@ -74,7 +81,7 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 				return nil, fmt.Errorf("experiments: building d=%d code: %w", d, err)
 			}
 			for _, p := range cfg.PauliRates {
-				rate, err := logicalRate(code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Seed, cfg.Metrics)
+				rate, err := logicalRate(code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
 				if err != nil {
 					return nil, err
 				}
@@ -91,20 +98,41 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 	return points, nil
 }
 
-// logicalRate Monte-Carlos the logical error rate of one configuration.
-func logicalRate(code *surfacecode.Code, dec decoder.Decoder, pauli, erasure float64, trials int, seed uint64, reg *telemetry.Registry) (float64, error) {
+// fig8Scratch is the per-worker arena of the threshold study's hot loop:
+// reusable sample buffers plus the decoder's own scratch, so steady-state
+// trials allocate nothing.
+type fig8Scratch struct {
+	frame  quantum.Frame
+	erased []bool
+	dec    *decoder.Scratch
+}
+
+// logicalRate Monte-Carlos the logical error rate of one configuration on
+// the sim worker pool. Each trial's error realization derives from the seed
+// and trial index, so the rate is identical for any worker count.
+func logicalRate(code *surfacecode.Code, dec decoder.Decoder, pauli, erasure float64, trials, workers int, seed uint64, reg *telemetry.Registry) (float64, error) {
 	nm := surfacecode.UniformNoise(code, pauli, erasure)
 	probs := nm.EdgeErrorProb()
 	root := rng.New(seed).Split(fmt.Sprintf("fig8/%s/%d/%.4f", dec.Name(), code.Distance(), pauli))
+	failed, err := sim.Run(context.Background(), trials, workers,
+		func(i int, w *sim.Worker) (bool, error) {
+			sc := sim.Scratch(w, "fig8", func() *fig8Scratch {
+				return &fig8Scratch{dec: decoder.NewScratch()}
+			})
+			sc.frame, sc.erased = nm.SampleInto(root.SplitN("t", i), sc.frame, sc.erased)
+			res, _, err := decoder.DecodeFrameWith(code, dec, sc.frame, sc.erased, probs, reg, sc.dec)
+			if err != nil {
+				return false, fmt.Errorf("experiments: decoding d=%d p=%v trial %d: %w",
+					code.Distance(), pauli, i, err)
+			}
+			return res.Failed(), nil
+		})
+	if err != nil {
+		return 0, err
+	}
 	fails := 0
-	for i := 0; i < trials; i++ {
-		frame, erased := nm.Sample(root.SplitN("t", i))
-		res, _, err := decoder.DecodeFrameMetered(code, dec, frame, erased, probs, reg)
-		if err != nil {
-			return 0, fmt.Errorf("experiments: decoding d=%d p=%v trial %d: %w",
-				code.Distance(), pauli, i, err)
-		}
-		if res.Failed() {
+	for _, f := range failed {
+		if f {
 			fails++
 		}
 	}

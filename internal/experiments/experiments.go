@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"surfnet/internal/core"
@@ -13,6 +14,7 @@ import (
 	"surfnet/internal/network"
 	"surfnet/internal/rng"
 	"surfnet/internal/routing"
+	"surfnet/internal/sim"
 	"surfnet/internal/telemetry"
 	"surfnet/internal/topology"
 )
@@ -32,6 +34,12 @@ type Config struct {
 	// UseLP selects the paper's LP-relaxation-with-rounding scheduler;
 	// false selects the pure greedy comparator.
 	UseLP bool
+	// Workers is the trial worker-pool size; <= 0 selects
+	// runtime.GOMAXPROCS(0) and 1 forces the serial path. Results are
+	// byte-identical for every value: each trial's randomness derives
+	// from the seed and trial index, never from worker identity, and
+	// per-trial results are reduced in trial order (internal/sim).
+	Workers int
 	// Engine configures online execution (code, decoder, segments).
 	Engine core.Config
 	// Metrics, when non-nil, collects counters and histograms from the
@@ -58,10 +66,20 @@ func DefaultConfig() Config {
 
 // Cell is the aggregated outcome of one experiment cell (a design in a
 // scenario under one parameter setting).
+//
+// Divisor contract: Throughput averages over all Trials (a trial that
+// schedules nothing still has a throughput, zero); Fidelity and Latency
+// average only over the Trials - EmptyTrials trials that executed at least
+// one code, because an empty trial produces no communication to measure —
+// folding a placeholder zero in would deflate both means.
 type Cell struct {
 	Fidelity   metrics.Summary
 	Latency    metrics.Summary
 	Throughput metrics.Summary
+	// Trials is the number of evaluated trials; EmptyTrials of them
+	// scheduled zero codes and contribute only to Throughput.
+	Trials      int
+	EmptyTrials int
 }
 
 // trialSpec pins one trial's full configuration.
@@ -73,9 +91,21 @@ type trialSpec struct {
 	maxMsgs  int
 }
 
-// runCell evaluates Trials random networks for one cell.
+// trialOutcome is one trial's contribution to a Cell, reduced in trial
+// order after the parallel run.
+type trialOutcome struct {
+	throughput float64
+	// ran is false for an empty trial: nothing was scheduled, so there is
+	// no execution to measure and fidelity/latency carry no sample.
+	ran      bool
+	fidelity float64
+	latency  float64
+}
+
+// runCell evaluates Trials random networks for one cell on the sim worker
+// pool. Every trial derives its randomness from the cell label and trial
+// index, so the Cell is identical for any Workers value.
 func runCell(cfg Config, spec trialSpec, label string) (Cell, error) {
-	var cell Cell
 	// Wire the harness telemetry into the engine and scheduler unless the
 	// caller already instrumented them individually.
 	if cfg.Engine.Metrics == nil {
@@ -91,30 +121,49 @@ func runCell(cfg Config, spec trialSpec, label string) (Cell, error) {
 		spec.routing.Tracer = cfg.Tracer
 	}
 	root := rng.New(cfg.Seed).Split(label)
-	for trial := 0; trial < cfg.Trials; trial++ {
-		src := root.SplitN("trial", trial)
-		net, err := topology.Generate(spec.params, src.Split("net"))
-		if err != nil {
-			return Cell{}, fmt.Errorf("experiments: generating network: %w", err)
+	outcomes, err := sim.Run(context.Background(), cfg.Trials, cfg.Workers,
+		func(trial int, _ *sim.Worker) (trialOutcome, error) {
+			src := root.SplitN("trial", trial)
+			net, err := topology.Generate(spec.params, src.Split("net"))
+			if err != nil {
+				return trialOutcome{}, fmt.Errorf("experiments: generating network: %w", err)
+			}
+			reqs, err := topology.GenRequests(net, spec.requests, spec.maxMsgs, src.Split("reqs"))
+			if err != nil {
+				return trialOutcome{}, fmt.Errorf("experiments: generating requests: %w", err)
+			}
+			sched, err := schedule(net, reqs, spec.routing, cfg.UseLP)
+			if err != nil {
+				return trialOutcome{}, fmt.Errorf("experiments: scheduling %v: %w", spec.design, err)
+			}
+			out := trialOutcome{throughput: sched.Throughput()}
+			if sched.AcceptedCodes() == 0 {
+				return out, nil // no executions to measure
+			}
+			res, err := core.Run(net, sched, cfg.Engine, src.Split("run"))
+			if err != nil {
+				return trialOutcome{}, fmt.Errorf("experiments: executing %v: %w", spec.design, err)
+			}
+			out.ran = true
+			out.fidelity = res.Fidelity()
+			out.latency = res.MeanLatency()
+			return out, nil
+		})
+	if err != nil {
+		return Cell{}, err
+	}
+	// Ordered reduction: folding in trial order keeps the streaming means
+	// bit-identical to a serial run regardless of worker count.
+	var cell Cell
+	for _, out := range outcomes {
+		cell.Trials++
+		cell.Throughput.Add(out.throughput)
+		if !out.ran {
+			cell.EmptyTrials++
+			continue
 		}
-		reqs, err := topology.GenRequests(net, spec.requests, spec.maxMsgs, src.Split("reqs"))
-		if err != nil {
-			return Cell{}, fmt.Errorf("experiments: generating requests: %w", err)
-		}
-		sched, err := schedule(net, reqs, spec.routing, cfg.UseLP)
-		if err != nil {
-			return Cell{}, fmt.Errorf("experiments: scheduling %v: %w", spec.design, err)
-		}
-		cell.Throughput.Add(sched.Throughput())
-		if sched.AcceptedCodes() == 0 {
-			continue // no executions to measure
-		}
-		res, err := core.Run(net, sched, cfg.Engine, src.Split("run"))
-		if err != nil {
-			return Cell{}, fmt.Errorf("experiments: executing %v: %w", spec.design, err)
-		}
-		cell.Fidelity.Add(res.Fidelity())
-		cell.Latency.Add(res.MeanLatency())
+		cell.Fidelity.Add(out.fidelity)
+		cell.Latency.Add(out.latency)
 	}
 	return cell, nil
 }

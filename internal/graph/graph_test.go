@@ -27,6 +27,31 @@ func TestUnionFindBasics(t *testing.T) {
 	}
 }
 
+func TestUnionFindReset(t *testing.T) {
+	uf := NewUnionFind(6)
+	uf.Union(0, 1)
+	uf.Union(2, 3)
+	// Shrinking reset reuses the arrays and clears all state.
+	uf.Reset(4)
+	if uf.Len() != 4 || uf.Count() != 4 {
+		t.Fatalf("after Reset(4): len=%d count=%d", uf.Len(), uf.Count())
+	}
+	for i := 0; i < 4; i++ {
+		if uf.Find(i) != i {
+			t.Fatalf("element %d not singleton after reset", i)
+		}
+	}
+	// Growing reset reallocates.
+	uf.Reset(10)
+	if uf.Len() != 10 || uf.Count() != 10 {
+		t.Fatalf("after Reset(10): len=%d count=%d", uf.Len(), uf.Count())
+	}
+	uf.Union(8, 9)
+	if !uf.Same(8, 9) || uf.Same(0, 8) {
+		t.Fatal("union after reset broken")
+	}
+}
+
 func TestUnionFindTransitivity(t *testing.T) {
 	uf := NewUnionFind(10)
 	uf.Union(0, 1)

@@ -28,6 +28,24 @@ func NewUnionFind(n int) *UnionFind {
 // Len reports the number of elements.
 func (u *UnionFind) Len() int { return len(u.parent) }
 
+// Reset reinitializes the structure to n singleton elements, reusing the
+// backing arrays when their capacity allows. It is the allocation-free path
+// for hot loops that build a union-find per decode.
+func (u *UnionFind) Reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int32, n)
+		u.rank = make([]int8, n)
+	} else {
+		u.parent = u.parent[:n]
+		u.rank = u.rank[:n]
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.rank[i] = 0
+	}
+	u.count = n
+}
+
 // Count reports the number of disjoint sets.
 func (u *UnionFind) Count() int { return u.count }
 

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"surfnet/internal/rng"
+)
+
+// TestRunOrderAndDeterminism checks the core contract: results arrive in
+// trial order and are identical for every worker count, including counts
+// larger than the trial count.
+func TestRunOrderAndDeterminism(t *testing.T) {
+	const n = 64
+	root := rng.New(7)
+	trial := func(i int, _ *Worker) (float64, error) {
+		return root.SplitN("trial", i).Float64(), nil
+	}
+	want, err := Run(context.Background(), n, 1, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 0, n + 5} {
+		got, err := Run(context.Background(), n, workers, trial)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: trial %d = %v, serial %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	if _, err := Run(context.Background(), -1, 4, func(int, *Worker) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative n should fail")
+	}
+	out, err := Run(context.Background(), 0, 4, func(int, *Worker) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("n=0: %v, %v", out, err)
+	}
+	// A nil context defaults to Background.
+	if _, err := Run(nil, 3, 2, func(i int, _ *Worker) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFirstError checks that the reported error is the lowest-indexed
+// failure and that later trials stop being scheduled after cancellation.
+func TestRunFirstError(t *testing.T) {
+	const n = 200
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := Run(context.Background(), n, workers, func(i int, _ *Worker) (int, error) {
+			ran.Add(1)
+			if i >= 10 {
+				return 0, fmt.Errorf("trial %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		// Serial must stop exactly at the first failure; parallel must not
+		// run the whole range.
+		if workers == 1 && ran.Load() != 11 {
+			t.Fatalf("serial ran %d trials, want 11", ran.Load())
+		}
+		if ran.Load() >= n {
+			t.Fatalf("workers=%d: cancellation did not stop scheduling (%d ran)", workers, ran.Load())
+		}
+		if workers == 1 && err.Error() != "trial 10: boom" {
+			t.Fatalf("serial error = %q", err)
+		}
+	}
+	// With many workers racing, the reported index is still the smallest
+	// among observed failures — which includes the deterministic earliest
+	// failing trial 0 here.
+	_, err := Run(context.Background(), n, 8, func(i int, _ *Worker) (int, error) {
+		return 0, fmt.Errorf("trial %d: %w", i, boom)
+	})
+	if err == nil || err.Error() != "trial 0: boom" {
+		t.Fatalf("err = %v, want trial 0", err)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := Run(ctx, 50, workers, func(i int, _ *Worker) (int, error) { return i, nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+// TestWorkerScratch checks that scratch values are per-worker (at most one
+// per worker id), typed through Scratch, and reused across trials.
+func TestWorkerScratch(t *testing.T) {
+	type arena struct{ hits int }
+	const n, workers = 100, 4
+	var created atomic.Int64
+	ids := make([]atomic.Int64, workers)
+	_, err := Run(context.Background(), n, workers, func(i int, w *Worker) (int, error) {
+		if w.ID() < 0 || w.ID() >= workers {
+			t.Errorf("worker id %d out of range", w.ID())
+		}
+		a := Scratch(w, "arena", func() *arena {
+			created.Add(1)
+			return &arena{}
+		})
+		a.hits++
+		ids[w.ID()].Add(1)
+		return a.hits, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := created.Load(); c < 1 || c > workers {
+		t.Fatalf("created %d arenas, want 1..%d", c, workers)
+	}
+	var total int64
+	for i := range ids {
+		total += ids[i].Load()
+	}
+	if total != n {
+		t.Fatalf("trials across workers = %d, want %d", total, n)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Normalize(0) = %d", got)
+	}
+	if got := Normalize(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Normalize(-3) = %d", got)
+	}
+	if got := Normalize(5); got != 5 {
+		t.Fatalf("Normalize(5) = %d", got)
+	}
+}
+
+// BenchmarkRunOverhead measures the engine's per-trial dispatch cost with a
+// trivial trial body, serial vs pooled.
+func BenchmarkRunOverhead(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(context.Background(), 256, workers, func(i int, _ *Worker) (int, error) {
+					return i * i, nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -68,9 +68,33 @@ func (nm *NoiseModel) Validate() error {
 // the erasure mask. Erasure takes precedence: an erased qubit's frame entry
 // is a uniform draw from {I, X, Y, Z} regardless of its Pauli rate.
 func (nm *NoiseModel) Sample(src *rng.Source) (quantum.Frame, []bool) {
+	return nm.SampleInto(src, nil, nil)
+}
+
+// SampleInto is Sample with caller-owned buffers: frame and erased are
+// reused when their capacity allows (Monte Carlo loops pass each worker's
+// scratch buffers to stop allocating per trial). The returned slices alias
+// the buffers; they are valid until the next SampleInto with the same
+// buffers. Nil buffers allocate fresh.
+func (nm *NoiseModel) SampleInto(src *rng.Source, frame quantum.Frame, erased []bool) (quantum.Frame, []bool) {
 	n := len(nm.Pauli)
-	f := quantum.NewFrame(n)
-	erased := make([]bool, n)
+	f := frame
+	if cap(f) < n {
+		f = quantum.NewFrame(n)
+	} else {
+		f = f[:n]
+		for q := range f {
+			f[q] = quantum.I
+		}
+	}
+	if cap(erased) < n {
+		erased = make([]bool, n)
+	} else {
+		erased = erased[:n]
+		for q := range erased {
+			erased[q] = false
+		}
+	}
 	mixed := [4]quantum.Pauli{quantum.I, quantum.X, quantum.Y, quantum.Z}
 	for q := 0; q < n; q++ {
 		if src.Bool(nm.Erase[q]) {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"surfnet/internal/quantum"
 	"surfnet/internal/rng"
 )
 
@@ -114,6 +115,40 @@ func TestSampleDeterminism(t *testing.T) {
 	for q := range f1 {
 		if f1[q] != f2[q] || e1[q] != e2[q] {
 			t.Fatal("sampling is not deterministic under equal seeds")
+		}
+	}
+}
+
+func TestSampleIntoReusesBuffers(t *testing.T) {
+	c := MustNew(5, CoreLShape)
+	nm := UniformNoise(c, 0.2, 0.2)
+	want, wantErased := nm.Sample(rng.New(9))
+
+	// Dirty oversized buffers must be cleared, reused, and produce the same
+	// realization as the allocating path under the same stream.
+	frame := quantum.NewFrame(c.NumData() + 8)
+	erased := make([]bool, c.NumData()+8)
+	for i := range frame {
+		frame[i] = quantum.Y
+		erased[i] = true
+	}
+	got, gotErased := nm.SampleInto(rng.New(9), frame, erased)
+	if &got[0] != &frame[0] || &gotErased[0] != &erased[0] {
+		t.Fatal("SampleInto did not reuse the provided buffers")
+	}
+	if len(got) != c.NumData() || len(gotErased) != c.NumData() {
+		t.Fatalf("lengths %d/%d, want %d", len(got), len(gotErased), c.NumData())
+	}
+	for q := range want {
+		if got[q] != want[q] || gotErased[q] != wantErased[q] {
+			t.Fatalf("qubit %d: SampleInto diverged from Sample", q)
+		}
+	}
+	// Undersized buffers allocate fresh.
+	got2, gotErased2 := nm.SampleInto(rng.New(9), quantum.NewFrame(1), make([]bool, 1))
+	for q := range want {
+		if got2[q] != want[q] || gotErased2[q] != wantErased[q] {
+			t.Fatalf("qubit %d: allocating SampleInto diverged", q)
 		}
 	}
 }
