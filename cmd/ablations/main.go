@@ -35,8 +35,14 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
 		return 1
 	}
+	defer func() {
+		if err := obs.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
+		}
+	}()
 
 	netCfg := experiments.DefaultConfig()
+	netCfg.Context = obs.Context()
 	netCfg.Seed = *seed
 	netCfg.Trials = max(2, *trials/100)
 	netCfg.Requests = 6
@@ -45,6 +51,7 @@ func run() int {
 	netCfg.Tracer = obs.TracerOrNil()
 
 	decCfg := experiments.DecoderStudyConfig{
+		Context: obs.Context(),
 		Seed:    *seed,
 		Trials:  *trials,
 		Workers: obs.Workers,
@@ -111,13 +118,8 @@ func run() int {
 	for _, s := range studies {
 		if err := runStudy(s); err != nil {
 			fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
-			obs.Finish()
 			return 1
 		}
-	}
-	if err := obs.Finish(); err != nil {
-		fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
-		return 1
 	}
 	return 0
 }

@@ -52,6 +52,7 @@ func run() int {
 	}()
 
 	cfg := surfnet.DefaultFig8()
+	cfg.Context = obs.Context()
 	cfg.Trials = *trials
 	cfg.ErasureRate = *erasure
 	cfg.Seed = *seed

@@ -89,6 +89,7 @@ func run() int {
 	}()
 
 	cfg := surfnet.DefaultExperiments()
+	cfg.Context = obs.Context()
 	cfg.Trials = *trials
 	cfg.Requests = *requests
 	cfg.MaxMessages = *maxMsgs

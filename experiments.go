@@ -79,3 +79,20 @@ func FormatFig7(rows []Fig7Row) string { return experiments.FormatFig7(rows) }
 
 // FormatFig8 renders the threshold study, one block per decoder.
 func FormatFig8(points []Fig8Point) string { return experiments.FormatFig8(points) }
+
+// ResilienceRow is one cell of the fault-intensity resilience sweep.
+type ResilienceRow = experiments.ResilienceRow
+
+// Resilience sweeps fault intensity for SurfNet against the Raw and
+// purification-2 baselines; nil selects the default intensities.
+func Resilience(cfg ExperimentConfig, intensities []float64) ([]ResilienceRow, error) {
+	return experiments.Resilience(cfg, intensities)
+}
+
+// ResilienceProfile returns the sweep's fault scenario at a given intensity.
+func ResilienceProfile(intensity float64) FaultProfile {
+	return experiments.ResilienceProfile(intensity)
+}
+
+// FormatResilience renders the resilience sweep as an aligned text table.
+func FormatResilience(rows []ResilienceRow) string { return experiments.FormatResilience(rows) }

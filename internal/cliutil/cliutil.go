@@ -5,11 +5,14 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"surfnet/internal/telemetry"
 )
@@ -36,6 +39,19 @@ type Observability struct {
 
 	cpuFile   *os.File
 	traceFile *os.File
+	ctx       context.Context
+	stop      context.CancelFunc
+}
+
+// Context returns the run context: it is cancelled on SIGINT/SIGTERM once
+// Start has run, so interrupted sweeps stop between trials while Finish still
+// flushes the partial -metrics-out and -trace-out output. Before Start it is
+// the background context.
+func (o *Observability) Context() context.Context {
+	if o.ctx == nil {
+		return context.Background()
+	}
+	return o.ctx
 }
 
 // Register defines the observability and worker-pool flags on fs.
@@ -67,8 +83,10 @@ func (o *Observability) TracerOrNil() telemetry.Tracer {
 	return o.Tracer
 }
 
-// Start opens the configured outputs and starts the CPU profile.
+// Start opens the configured outputs, starts the CPU profile, and installs
+// the signal-aware run context.
 func (o *Observability) Start() error {
+	o.ctx, o.stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	if o.MetricsOut != "" {
 		o.ForceMetrics()
 	}
@@ -103,6 +121,10 @@ func (o *Observability) Finish() error {
 		if err != nil && first == nil {
 			first = err
 		}
+	}
+	if o.stop != nil {
+		o.stop() // restore default signal handling
+		o.stop = nil
 	}
 	if o.cpuFile != nil {
 		pprof.StopCPUProfile()

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"surfnet/internal/decoder"
+	"surfnet/internal/faults"
 	"surfnet/internal/network"
 	"surfnet/internal/quantum"
 	"surfnet/internal/rng"
@@ -56,12 +57,45 @@ type Config struct {
 	WaitForComplete bool
 	// FiberFailProb is the per-slot probability that a fiber on the
 	// remaining path crashes (§V-B "crashes in incoming/outgoing ports").
+	// It is the legacy view onto the fault-injection subsystem: the engine
+	// folds it into the Faults profile's fiber-crash scenario, and runs
+	// configured this way reproduce their pre-injector behaviour exactly.
 	FiberFailProb float64
 	// RepairSlots is how long a crashed fiber stays down.
 	RepairSlots int
+	// Faults, when non-nil, selects the full fault-injection scenario:
+	// stochastic fiber crashes, node/server outages, correlated regional
+	// failures, fidelity drift, and scripted outage timetables
+	// (internal/faults). When its fiber-crash component is zero, the
+	// legacy FiberFailProb/RepairSlots fields above are folded in. For
+	// SurfNet and Raw transfers every component applies; purification
+	// baselines react to fiber outages and drift (they have no correction
+	// servers for node outages to affect) and only when Faults is set
+	// explicitly, keeping legacy configurations untouched.
+	Faults *faults.Profile
 	// DisableRecovery turns off local recovery paths, leaving codes to
 	// wait out fiber outages.
 	DisableRecovery bool
+	// RecoveryBackoff bounds how often a blocked part retries its local
+	// recovery search. Zero keeps the legacy policy (re-run Dijkstra every
+	// blocked slot); a positive value is the initial backoff in slots,
+	// doubled after each consecutive failed attempt up to
+	// RecoveryBackoffMax.
+	RecoveryBackoff int
+	// RecoveryBackoffMax caps the exponential recovery backoff. Zero
+	// selects 32 when RecoveryBackoff is set.
+	RecoveryBackoffMax int
+	// ReplanAfterFails enables epoch re-planning: once either part of a
+	// code has accumulated this many consecutive failed recovery attempts,
+	// the engine re-solves the request's routing (LP relaxation with the
+	// greedy fallback) over the surviving topology and restarts the
+	// transfer from the source on the fresh route — the end-to-end
+	// retransmission a control plane falls back to when local repair keeps
+	// failing. Zero disables re-planning.
+	ReplanAfterFails int
+	// ReplanEpoch is the minimum number of slots between re-planning
+	// attempts of one transfer. Zero selects 50.
+	ReplanEpoch int
 	// ChannelErrorScale converts a fiber's infidelity into the per-hop,
 	// per-photon decoding-graph flip probability: flip = scale * (1 -
 	// gamma). It calibrates how much of a fiber's measured infidelity
@@ -117,7 +151,7 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate(sched routing.Schedule) error {
+func (c Config) validate(net *network.Network, sched routing.Schedule) error {
 	if c.Code == nil {
 		return fmt.Errorf("%w: nil code", ErrConfig)
 	}
@@ -132,6 +166,30 @@ func (c Config) validate(sched routing.Schedule) error {
 	}
 	if c.FiberFailProb < 0 || c.FiberFailProb > 1 {
 		return fmt.Errorf("%w: FiberFailProb %v", ErrConfig, c.FiberFailProb)
+	}
+	if c.RepairSlots < 0 {
+		return fmt.Errorf("%w: RepairSlots %d < 0", ErrConfig, c.RepairSlots)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.ValidateAgainst(net); err != nil {
+			return fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+	}
+	if c.RecoveryBackoff < 0 {
+		return fmt.Errorf("%w: RecoveryBackoff %d < 0", ErrConfig, c.RecoveryBackoff)
+	}
+	if c.RecoveryBackoffMax < 0 {
+		return fmt.Errorf("%w: RecoveryBackoffMax %d < 0", ErrConfig, c.RecoveryBackoffMax)
+	}
+	if c.RecoveryBackoff > 0 && c.RecoveryBackoffMax > 0 && c.RecoveryBackoffMax < c.RecoveryBackoff {
+		return fmt.Errorf("%w: RecoveryBackoffMax %d < RecoveryBackoff %d",
+			ErrConfig, c.RecoveryBackoffMax, c.RecoveryBackoff)
+	}
+	if c.ReplanAfterFails < 0 {
+		return fmt.Errorf("%w: ReplanAfterFails %d < 0", ErrConfig, c.ReplanAfterFails)
+	}
+	if c.ReplanEpoch < 0 {
+		return fmt.Errorf("%w: ReplanEpoch %d < 0", ErrConfig, c.ReplanEpoch)
 	}
 	if c.MemoryDecay < 0 || c.MemoryDecay > 1 {
 		return fmt.Errorf("%w: MemoryDecay %v", ErrConfig, c.MemoryDecay)
@@ -160,6 +218,40 @@ func (c Config) validate(sched routing.Schedule) error {
 	return nil
 }
 
+// faultProfile resolves the effective fault scenario: the explicit Faults
+// profile, with the legacy FiberFailProb/RepairSlots fields folded into its
+// fiber-crash component when the profile leaves it zero. Nil means no faults.
+func (c Config) faultProfile() *faults.Profile {
+	var p faults.Profile
+	if c.Faults != nil {
+		p = *c.Faults
+	}
+	if p.FiberCrashProb == 0 && c.FiberFailProb > 0 {
+		p.FiberCrashProb = c.FiberFailProb
+		p.FiberRepairSlots = c.RepairSlots
+	}
+	if !p.Enabled() {
+		return nil
+	}
+	return &p
+}
+
+// replanEpoch resolves the default re-planning epoch.
+func (c Config) replanEpoch() int {
+	if c.ReplanEpoch == 0 {
+		return 50
+	}
+	return c.ReplanEpoch
+}
+
+// backoffMax resolves the default recovery backoff cap.
+func (c Config) backoffMax() int {
+	if c.RecoveryBackoffMax == 0 {
+		return 32
+	}
+	return c.RecoveryBackoffMax
+}
+
 // Outcome records the execution of one scheduled surface code.
 type Outcome struct {
 	// Request indexes into the schedule's request list.
@@ -181,6 +273,13 @@ type Outcome struct {
 	Retransmissions int
 	// Recoveries counts local recovery reroutes after fiber crashes.
 	Recoveries int
+	// Replans counts epoch re-plans: full route re-solves over the
+	// surviving topology after persistent recovery failure.
+	Replans int
+	// SkippedCorrections counts scheduled error corrections skipped
+	// because the server was down; the code then degraded to its next
+	// decode opportunity (ultimately destination-only decoding).
+	SkippedCorrections int
 }
 
 // RunResult aggregates all outcomes of executing one schedule.
@@ -238,7 +337,7 @@ func (r RunResult) DeliveredFraction() float64 {
 // independent randomness sub-streams, so results are reproducible and
 // insensitive to iteration order.
 func Run(net *network.Network, sched routing.Schedule, cfg Config, src *rng.Source) (RunResult, error) {
-	if err := cfg.validate(sched); err != nil {
+	if err := cfg.validate(net, sched); err != nil {
 		return RunResult{}, err
 	}
 	res := RunResult{Design: sched.Design}
@@ -310,6 +409,24 @@ func runPurification(net *network.Network, sched routing.Schedule, cfg Config, r
 	if life == 0 {
 		life = 20
 	}
+	// Fault injection for the baselines is opt-in: only an explicit Faults
+	// profile applies (the legacy FiberFailProb fields never did here, and
+	// folding them in would silently change pre-injector results). A down
+	// fiber destroys its live pairs and blocks generation; drift degrades
+	// the delivered chain fidelity below.
+	var inj faults.Injector
+	if cfg.Faults != nil {
+		inj = cfg.Faults.Build(net)
+	}
+	pathFibers := func(visit func(fi int)) {
+		seen := map[int]bool{}
+		for _, fi := range path {
+			if !seen[fi] {
+				seen[fi] = true
+				visit(fi)
+			}
+		}
+	}
 	// expiries[i] holds the expiry slots of fiber i's live pairs.
 	expiries := make([][]int, len(path))
 	var out Outcome
@@ -317,8 +434,17 @@ func runPurification(net *network.Network, sched routing.Schedule, cfg Config, r
 	ready := false
 	slot := 0
 	for ; slot < cfg.MaxSlots && !ready; slot++ {
+		if inj != nil {
+			inj.Step(faults.Scope{Slot: slot, Src: src, Fibers: pathFibers},
+				faultEmitter(ins, cfg.Tracer, ri, ci))
+		}
 		ready = true
 		for i, fi := range path {
+			if inj != nil && inj.FiberDown(fi) {
+				expiries[i] = expiries[i][:0] // outage destroys live pairs
+				ready = false
+				continue
+			}
 			// Expire old pairs, attempt one generation.
 			live := expiries[i][:0]
 			for _, exp := range expiries[i] {
@@ -354,7 +480,11 @@ func runPurification(net *network.Network, sched routing.Schedule, cfg Config, r
 	}
 	chain := 1.0
 	for _, fi := range path {
-		chain *= quantum.PurifyN(net.Fiber(fi).Fidelity, n)
+		g := net.Fiber(fi).Fidelity
+		if inj != nil {
+			g = inj.Gamma(fi, g) // drift degrades the delivered chain
+		}
+		chain *= quantum.PurifyN(g, n)
 	}
 	for k := 1; k < len(path); k++ {
 		chain *= swapEff

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"surfnet/internal/decoder"
+	"surfnet/internal/faults"
 	"surfnet/internal/graph"
 	"surfnet/internal/network"
 	"surfnet/internal/quantum"
@@ -21,6 +22,13 @@ type partState struct {
 	path  []int // fiber ids, source to destination
 	nodes []int // node ids, len(path)+1
 	pos   int   // completed hops (index into nodes)
+
+	// Recovery backoff state: blocked parts retry their recovery search no
+	// earlier than nextAttempt, and failStreak counts consecutive failed
+	// attempts (feeding both the exponential backoff and the re-planning
+	// trigger). Any forward progress resets both.
+	nextAttempt int
+	failStreak  int
 }
 
 // stopIdx returns the node-path index of the given stop node, at or after
@@ -43,6 +51,10 @@ type transfer struct {
 	design routing.Design
 	src    *rng.Source
 
+	req      network.Request // the communication being served
+	params   routing.Params  // routing parameters, for epoch re-planning
+	distance int             // adaptively chosen code distance (0 = default)
+
 	support   partState
 	core      partState // unused for Raw
 	stopNodes []int     // EC servers in path order, then the destination
@@ -53,8 +65,10 @@ type transfer struct {
 	erased  []bool
 	isCore  []bool
 
-	downUntil  map[int]int // fiber id -> slot when repaired
-	failedOnce bool        // logical error at any correction so far
+	inj        faults.Injector    // nil when the run injects no faults
+	emitFault  func(faults.Event) // lazily built fault-event sink
+	nextReplan int                // earliest slot the next re-plan may run
+	failedOnce bool               // logical error at any correction so far
 	out        Outcome
 
 	ins     instruments
@@ -76,16 +90,21 @@ func (t *transfer) trace(slot int, typ string, kv ...any) {
 func newTransfer(net *network.Network, sched routing.Schedule, cfg Config, code *surfacecode.Code, req network.Request, cr routing.CodeRoute, src *rng.Source) *transfer {
 	nq := code.NumData()
 	t := &transfer{
-		net:       net,
-		cfg:       cfg,
-		code:      code,
-		design:    sched.Design,
-		src:       src,
-		errProb:   make([]float64, nq),
-		erased:    make([]bool, nq),
-		isCore:    code.CoreMask(),
-		downUntil: make(map[int]int),
-		ins:       newInstruments(cfg.Metrics),
+		net:      net,
+		cfg:      cfg,
+		code:     code,
+		design:   sched.Design,
+		src:      src,
+		req:      req,
+		params:   sched.Params,
+		distance: cr.Distance,
+		errProb:  make([]float64, nq),
+		erased:   make([]bool, nq),
+		isCore:   code.CoreMask(),
+		ins:      newInstruments(cfg.Metrics),
+	}
+	if p := cfg.faultProfile(); p != nil {
+		t.inj = p.Build(net)
 	}
 	t.support.path = append([]int(nil), cr.SupportPath...)
 	t.support.nodes = nodeSeq(net, req.Src, t.support.path)
@@ -115,7 +134,8 @@ func nodeSeq(net *network.Network, src int, fibers []int) []int {
 // run drives the transfer to completion or timeout.
 func (t *transfer) run() (Outcome, error) {
 	for slot := 0; slot < t.cfg.MaxSlots; slot++ {
-		t.sampleOutages(slot)
+		t.stepFaults(slot)
+		t.maybeReplan(slot)
 		stop := t.stopNodes[t.nextStop]
 		supStop := t.support.stopIdx(stop)
 		if t.support.pos < supStop {
@@ -132,13 +152,23 @@ func (t *transfer) run() (Outcome, error) {
 			coreArrived = t.core.pos >= coreStop
 		}
 		if t.support.pos == supStop && coreArrived {
+			atDst := t.nextStop == len(t.stopNodes)-1
+			if !atDst && t.nodeDown(stop) {
+				// The scheduled server is out of service: skip this
+				// correction and let the accumulated error ride to the
+				// next decode opportunity (ultimately the destination).
+				t.out.SkippedCorrections++
+				t.ins.correctionSkips.Inc()
+				t.trace(slot, "core.correction_skip", "node", stop, "stop", t.nextStop)
+				t.nextStop++
+				continue // passing through still costs the slot
+			}
 			if t.cfg.WaitForComplete && t.anyErased() {
 				t.retransmit(supStop)
 				t.out.Retransmissions++
 				t.ins.retransmissions.Inc()
 				continue // retransmission wave costs this slot
 			}
-			atDst := t.nextStop == len(t.stopNodes)-1
 			ok, err := t.decode(slot)
 			if err != nil {
 				return t.out, err
@@ -188,31 +218,50 @@ func (t *transfer) remainingFibers(visit func(fi int)) {
 	}
 }
 
-// sampleOutages crashes fibers on the remaining routes with FiberFailProb.
-func (t *transfer) sampleOutages(slot int) {
-	if t.cfg.FiberFailProb == 0 {
-		return
+// upcomingServers visits the error-correction servers still ahead. The
+// destination is excluded: it always decodes.
+func (t *transfer) upcomingServers(visit func(v int)) {
+	for i := t.nextStop; i < len(t.stopNodes)-1; i++ {
+		visit(t.stopNodes[i])
 	}
-	t.remainingFibers(func(fi int) {
-		if until, down := t.downUntil[fi]; down {
-			if slot < until {
-				return
-			}
-			delete(t.downUntil, fi)
-			t.trace(slot, "core.fiber_repair", "fiber", fi)
-		}
-		if t.src.Bool(t.cfg.FiberFailProb) {
-			t.downUntil[fi] = slot + t.cfg.RepairSlots
-			t.ins.fiberCrashes.Inc()
-			t.trace(slot, "core.fiber_crash", "fiber", fi, "until", slot+t.cfg.RepairSlots)
-		}
-	})
 }
 
-// fiberDown reports whether fiber fi is down at slot.
-func (t *transfer) fiberDown(fi, slot int) bool {
-	until, down := t.downUntil[fi]
-	return down && slot < until
+// stepFaults advances the fault injector over the transfer's remaining scope.
+// The enumeration callbacks fix the order randomness is consumed in, keeping
+// fault-injected runs byte-identical across worker counts.
+func (t *transfer) stepFaults(slot int) {
+	if t.inj == nil {
+		return
+	}
+	if t.emitFault == nil {
+		t.emitFault = faultEmitter(t.ins, t.cfg.Tracer, t.reqIdx, t.codeIdx)
+	}
+	t.inj.Step(faults.Scope{
+		Slot:   slot,
+		Src:    t.src,
+		Fibers: t.remainingFibers,
+		Nodes:  t.upcomingServers,
+	}, t.emitFault)
+}
+
+// fiberDown reports whether fiber fi is down at the last stepped slot.
+func (t *transfer) fiberDown(fi int) bool {
+	return t.inj != nil && t.inj.FiberDown(fi)
+}
+
+// nodeDown reports whether node v is out of service.
+func (t *transfer) nodeDown(v int) bool {
+	return t.inj != nil && t.inj.NodeDown(v)
+}
+
+// fiberFidelity returns fiber fi's effective gamma, degraded by any active
+// drift episode. Without drift the nominal value passes through unchanged.
+func (t *transfer) fiberFidelity(fi int) float64 {
+	g := t.net.Fiber(fi).Fidelity
+	if t.inj != nil {
+		g = t.inj.Gamma(fi, g)
+	}
+	return g
 }
 
 // advanceSupport moves the Support part (or the whole code for Raw) one hop
@@ -220,11 +269,12 @@ func (t *transfer) fiberDown(fi, slot int) bool {
 // hops attempt a local recovery path.
 func (t *transfer) advanceSupport(slot, stop int) {
 	fi := t.support.path[t.support.pos]
-	if t.fiberDown(fi, slot) {
+	if t.fiberDown(fi) {
 		t.tryRecovery(&t.support, slot, stop)
 		return
 	}
 	f := t.net.Fiber(fi)
+	gamma := t.fiberFidelity(fi)
 	lost := 0
 	for q := range t.errProb {
 		if t.design == routing.SurfNet && t.isCore[q] {
@@ -238,7 +288,7 @@ func (t *transfer) advanceSupport(slot, stop int) {
 			lost++
 			continue
 		}
-		flip := t.cfg.ChannelErrorScale * (1 - f.Fidelity)
+		flip := t.cfg.ChannelErrorScale * (1 - gamma)
 		t.errProb[q] = 1 - (1-t.errProb[q])*(1-flip)
 	}
 	if lost > 0 {
@@ -246,6 +296,7 @@ func (t *transfer) advanceSupport(slot, stop int) {
 		t.trace(slot, "core.photon_loss", "fiber", fi, "lost", lost)
 	}
 	t.support.pos++
+	t.support.failStreak, t.support.nextAttempt = 0, 0
 }
 
 // advanceCore attempts an opportunistic segment move (§V-B): the Core part
@@ -253,7 +304,7 @@ func (t *transfer) advanceSupport(slot, stop int) {
 // consecutive fibers ahead (or the full remaining distance to the stop).
 // A downed next fiber triggers a local recovery reroute.
 func (t *transfer) advanceCore(slot, stop int) {
-	if t.fiberDown(t.core.path[t.core.pos], slot) {
+	if t.fiberDown(t.core.path[t.core.pos]) {
 		t.tryRecovery(&t.core, slot, stop)
 		return
 	}
@@ -261,7 +312,7 @@ func (t *transfer) advanceCore(slot, stop int) {
 	prefix := 0
 	for i := t.core.pos; i < stop; i++ {
 		fi := t.core.path[i]
-		if t.fiberDown(fi, slot) || !t.src.Bool(t.net.Fiber(fi).EntRate) {
+		if t.fiberDown(fi) || !t.src.Bool(t.net.Fiber(fi).EntRate) {
 			break
 		}
 		prefix++
@@ -279,8 +330,8 @@ func (t *transfer) advanceCore(slot, stop int) {
 	// §IV-C) fused by one swap per segment-internal node.
 	segFid := 1.0
 	for i := 0; i < prefix; i++ {
-		f := t.net.Fiber(t.core.path[t.core.pos+i])
-		segFid *= quantum.Purify(f.Fidelity, f.Fidelity)
+		g := t.fiberFidelity(t.core.path[t.core.pos+i])
+		segFid *= quantum.Purify(g, g)
 	}
 	swapEff := t.cfg.SwapEfficiency
 	if swapEff == 0 {
@@ -302,6 +353,7 @@ func (t *transfer) advanceCore(slot, stop int) {
 		"from", t.core.nodes[t.core.pos], "to", t.core.nodes[t.core.pos+prefix],
 		"hops", prefix)
 	t.core.pos += prefix
+	t.core.failStreak, t.core.nextAttempt = 0, 0
 }
 
 // retransmit re-sends lost Support qubits across the current segment (the
@@ -316,12 +368,13 @@ func (t *transfer) retransmit(stop int) {
 		t.erased[q] = false
 		t.errProb[q] = 0
 		for i := segStart; i < stop; i++ {
-			f := t.net.Fiber(t.support.path[i])
+			fi := t.support.path[i]
+			f := t.net.Fiber(fi)
 			if t.src.Bool(f.LossProb) {
 				t.erased[q] = true
 				break
 			}
-			flip := t.cfg.ChannelErrorScale * (1 - f.Fidelity)
+			flip := t.cfg.ChannelErrorScale * (1 - t.fiberFidelity(fi))
 			t.errProb[q] = 1 - (1-t.errProb[q])*(1-flip)
 		}
 	}
@@ -346,8 +399,15 @@ func (t *transfer) segmentStart(stop int) int {
 // from its blocked position to the next stop (§V-B: "a node can locally
 // replace a failed route with a recovery path leading to the next designated
 // node"). The parts recover independently — their routes need not coincide.
+// Under RecoveryBackoff the search is rate-limited: each consecutive failure
+// doubles the wait before the next attempt, so a partitioned code stops
+// re-running Dijkstra every slot.
 func (t *transfer) tryRecovery(part *partState, slot, stop int) {
 	if t.cfg.DisableRecovery {
+		return
+	}
+	if slot < part.nextAttempt {
+		t.ins.backoffSkips.Inc()
 		return
 	}
 	partName := "support"
@@ -358,12 +418,15 @@ func (t *transfer) tryRecovery(part *partState, slot, stop int) {
 	target := part.nodes[stop]
 	g := graph.NewWeighted(t.net.NumNodes())
 	for fi := 0; fi < t.net.NumFibers(); fi++ {
-		if t.fiberDown(fi, slot) {
+		if t.fiberDown(fi) {
 			continue
 		}
 		f := t.net.Fiber(fi)
 		okNode := func(v int) bool {
-			return v == from || v == target || t.net.Node(v).Role != network.User
+			if v == from || v == target {
+				return true
+			}
+			return t.net.Node(v).Role != network.User && !t.nodeDown(v)
 		}
 		if !okNode(f.A) || !okNode(f.B) {
 			continue
@@ -374,6 +437,7 @@ func (t *transfer) tryRecovery(part *partState, slot, stop int) {
 	alt := sp.PathTo(g, target)
 	if alt == nil {
 		t.ins.recoveryFails.Inc()
+		t.noteRecoveryFailure(part, slot)
 		return
 	}
 	altFibers := make([]int, len(alt))
@@ -385,10 +449,137 @@ func (t *transfer) tryRecovery(part *partState, slot, stop int) {
 	newPath = append(newPath, part.path[stop:]...)
 	part.path = newPath
 	part.nodes = nodeSeq(t.net, part.nodes[0], part.path)
+	part.failStreak, part.nextAttempt = 0, 0
 	t.out.Recoveries++
 	t.ins.recoveries.Inc()
 	t.trace(slot, "core.recovery",
 		"part", partName, "from", from, "to", target, "detour", len(altFibers))
+}
+
+// noteRecoveryFailure advances the part's failure streak and, under
+// RecoveryBackoff, schedules the next attempt exponentially later (capped at
+// RecoveryBackoffMax).
+func (t *transfer) noteRecoveryFailure(part *partState, slot int) {
+	part.failStreak++
+	if t.cfg.RecoveryBackoff <= 0 {
+		return // legacy policy: retry every blocked slot
+	}
+	wait := t.cfg.RecoveryBackoff
+	maxWait := t.cfg.backoffMax()
+	for i := 1; i < part.failStreak && wait < maxWait; i++ {
+		wait *= 2
+	}
+	if wait > maxWait {
+		wait = maxWait
+	}
+	part.nextAttempt = slot + wait
+}
+
+// maybeReplan re-solves the request's routing over the surviving topology
+// once either part has accumulated ReplanAfterFails consecutive failed
+// recovery attempts — the end-to-end fallback when local repair keeps
+// failing. Attempts are rate-limited to one per ReplanEpoch slots.
+func (t *transfer) maybeReplan(slot int) {
+	if t.cfg.ReplanAfterFails <= 0 || slot < t.nextReplan {
+		return
+	}
+	streak := t.support.failStreak
+	if t.core.failStreak > streak {
+		streak = t.core.failStreak
+	}
+	if streak < t.cfg.ReplanAfterFails {
+		return
+	}
+	t.nextReplan = slot + t.cfg.replanEpoch()
+	t.replan(slot)
+}
+
+// replan runs the offline scheduler (LP relaxation, falling back to the
+// greedy heuristic) for this one request over the surviving topology and, on
+// success, restarts the transfer from the source on the fresh route. The
+// restart models end-to-end retransmission: the source re-encodes the
+// message, so the channel state and failure history reset.
+func (t *transfer) replan(slot int) {
+	surv := t.survivingNetwork()
+	p := t.params
+	if t.distance > 0 {
+		// Pin the adaptive distance: the code is already built.
+		p.AdaptiveDistances = []int{t.distance}
+	}
+	req := t.req
+	req.Messages = 1 // re-admit just this communication
+	var sched routing.Schedule
+	var err error
+	if surv == nil {
+		err = fmt.Errorf("core: surviving topology unusable")
+	} else {
+		sched, err = routing.ScheduleLP(surv, []network.Request{req}, p)
+		if err != nil || len(sched.Requests) == 0 || len(sched.Requests[0].Codes) == 0 {
+			sched, err = routing.Greedy(surv, []network.Request{req}, p, nil, nil)
+		}
+	}
+	if err != nil || len(sched.Requests) == 0 || len(sched.Requests[0].Codes) == 0 {
+		t.ins.replanFails.Inc()
+		t.trace(slot, "core.replan_failure",
+			"support_streak", t.support.failStreak, "core_streak", t.core.failStreak)
+		return
+	}
+	t.setRoute(sched.Requests[0].Codes[0])
+	t.out.Replans++
+	t.ins.replans.Inc()
+	t.trace(slot, "core.replan",
+		"hops", len(t.support.path), "stops", len(t.stopNodes))
+}
+
+// survivingNetwork copies the network with the current outages applied: down
+// fibers keep their endpoints (IDs stay dense, the graph stays connected) but
+// lose all scheduling value, and down nodes lose their storage capacity.
+func (t *transfer) survivingNetwork() *network.Network {
+	nodes := make([]network.Node, t.net.NumNodes())
+	for v := range nodes {
+		nd := t.net.Node(v)
+		if t.nodeDown(v) {
+			nd.Capacity = 0
+		}
+		nodes[v] = nd
+	}
+	fibers := make([]network.Fiber, t.net.NumFibers())
+	for fi := range fibers {
+		f := t.net.Fiber(fi)
+		if t.fiberDown(fi) || t.nodeDown(f.A) || t.nodeDown(f.B) {
+			f.EntPairs, f.EntRate, f.LossProb, f.Fidelity = 0, 0, 1, 0.5
+		}
+		fibers[fi] = f
+	}
+	surv, err := network.New(nodes, fibers)
+	if err != nil {
+		return nil
+	}
+	return surv
+}
+
+// setRoute restarts the transfer from the source on a fresh route: fresh
+// encode, clean channel state, stop list rebuilt from the new schedule.
+func (t *transfer) setRoute(cr routing.CodeRoute) {
+	t.support = partState{path: append([]int(nil), cr.SupportPath...)}
+	t.support.nodes = nodeSeq(t.net, t.req.Src, t.support.path)
+	if t.design == routing.SurfNet {
+		corePath := cr.CorePath
+		if len(corePath) == 0 {
+			corePath = cr.SupportPath
+		}
+		t.core = partState{path: append([]int(nil), corePath...)}
+		t.core.nodes = nodeSeq(t.net, t.req.Src, t.core.path)
+	} else {
+		t.core = partState{}
+	}
+	t.stopNodes = append(append([]int(nil), cr.Servers...), t.req.Dst)
+	t.nextStop = 0
+	for q := range t.errProb {
+		t.errProb[q] = 0
+		t.erased[q] = false
+	}
+	t.failedOnce = false
 }
 
 // anyErased reports whether any Support qubit is currently missing.

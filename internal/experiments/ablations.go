@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"surfnet/internal/decoder"
@@ -59,7 +60,11 @@ type DecoderPoint struct {
 // DecoderStudyConfig parameterizes the decoder-level ablation studies
 // (step size, Core layout, erasure growth).
 type DecoderStudyConfig struct {
-	Seed uint64
+	// Context, when non-nil, cancels the trial pool between trials (the
+	// CLIs pass their signal-aware run context). Nil selects
+	// context.Background().
+	Context context.Context
+	Seed    uint64
 	// Trials is the Monte-Carlo sample count per variant.
 	Trials int
 	// Workers is the trial worker-pool size; <= 0 selects
@@ -89,7 +94,7 @@ func decoderAblation(cfg DecoderStudyConfig, distance int, pauli, erasure float6
 	}
 	var out []DecoderPoint
 	for _, v := range variants {
-		rate, err := logicalRate(code, v.dec, pauli, erasure, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
+		rate, err := logicalRate(ctxOrBackground(cfg.Context), code, v.dec, pauli, erasure, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
 		}

@@ -16,7 +16,11 @@ import (
 
 // Fig8Config parameterizes the decoder threshold study of Fig. 8.
 type Fig8Config struct {
-	Seed uint64
+	// Context, when non-nil, cancels the trial pool between trials (the
+	// CLIs pass their signal-aware run context). Nil selects
+	// context.Background().
+	Context context.Context
+	Seed    uint64
 	// Trials is the Monte-Carlo sample count per (decoder, distance,
 	// rate) point.
 	Trials int
@@ -81,7 +85,7 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 				return nil, fmt.Errorf("experiments: building d=%d code: %w", d, err)
 			}
 			for _, p := range cfg.PauliRates {
-				rate, err := logicalRate(code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
+				rate, err := logicalRate(ctxOrBackground(cfg.Context), code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
 				if err != nil {
 					return nil, err
 				}
@@ -110,11 +114,11 @@ type fig8Scratch struct {
 // logicalRate Monte-Carlos the logical error rate of one configuration on
 // the sim worker pool. Each trial's error realization derives from the seed
 // and trial index, so the rate is identical for any worker count.
-func logicalRate(code *surfacecode.Code, dec decoder.Decoder, pauli, erasure float64, trials, workers int, seed uint64, reg *telemetry.Registry) (float64, error) {
+func logicalRate(ctx context.Context, code *surfacecode.Code, dec decoder.Decoder, pauli, erasure float64, trials, workers int, seed uint64, reg *telemetry.Registry) (float64, error) {
 	nm := surfacecode.UniformNoise(code, pauli, erasure)
 	probs := nm.EdgeErrorProb()
 	root := rng.New(seed).Split(fmt.Sprintf("fig8/%s/%d/%.4f", dec.Name(), code.Distance(), pauli))
-	failed, err := sim.Run(context.Background(), trials, workers,
+	failed, err := sim.Run(ctx, trials, workers,
 		func(i int, w *sim.Worker) (bool, error) {
 			sc := sim.Scratch(w, "fig8", func() *fig8Scratch {
 				return &fig8Scratch{dec: decoder.NewScratch()}

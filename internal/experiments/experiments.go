@@ -21,6 +21,11 @@ import (
 
 // Config parameterizes the network experiments (Fig. 6 and Fig. 7).
 type Config struct {
+	// Context, when non-nil, cancels the trial pool between trials: the
+	// CLIs pass their signal-aware run context so an interrupted sweep
+	// stops promptly and still flushes partial observability output. Nil
+	// selects context.Background().
+	Context context.Context
 	// Seed roots all randomness; every cell derives labeled sub-streams.
 	Seed uint64
 	// Trials is the number of random networks evaluated per cell. The
@@ -121,7 +126,7 @@ func runCell(cfg Config, spec trialSpec, label string) (Cell, error) {
 		spec.routing.Tracer = cfg.Tracer
 	}
 	root := rng.New(cfg.Seed).Split(label)
-	outcomes, err := sim.Run(context.Background(), cfg.Trials, cfg.Workers,
+	outcomes, err := sim.Run(cfg.context(), cfg.Trials, cfg.Workers,
 		func(trial int, _ *sim.Worker) (trialOutcome, error) {
 			src := root.SplitN("trial", trial)
 			net, err := topology.Generate(spec.params, src.Split("net"))
@@ -166,6 +171,17 @@ func runCell(cfg Config, spec trialSpec, label string) (Cell, error) {
 		cell.Latency.Add(out.latency)
 	}
 	return cell, nil
+}
+
+// context resolves the run context.
+func (c Config) context() context.Context { return ctxOrBackground(c.Context) }
+
+// ctxOrBackground resolves an optional config context.
+func ctxOrBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 func schedule(net *network.Network, reqs []network.Request, p routing.Params, useLP bool) (routing.Schedule, error) {

@@ -103,3 +103,22 @@ func FormatFig8(points []Fig8Point) string {
 	}
 	return strings.TrimRight(b.String(), "\n") + "\n"
 }
+
+// FormatResilience renders the fault-intensity sweep grouped by intensity:
+// the three evaluation metrics plus the engine's recovery behaviour
+// (recoveries, re-plans, and skipped corrections per code).
+func FormatResilience(rows []ResilienceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-14s %12s %12s %12s %10s %10s %10s\n",
+		"intensity", "design", "fidelity", "delivered", "latency",
+		"recov/code", "replans", "skips")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10.2f %-14s %9.3f±%.2f %9.3f±%.2f %9.1f±%.1f %10.3f %10.3f %10.3f\n",
+			r.Intensity, r.Design,
+			r.Cell.Fidelity.Mean(), r.Cell.Fidelity.CI95(),
+			r.Delivered.Mean(), r.Delivered.CI95(),
+			r.Cell.Latency.Mean(), r.Cell.Latency.CI95(),
+			r.Recoveries.Mean(), r.Replans.Mean(), r.SkippedCorrections.Mean())
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"surfnet/internal/faults"
+)
+
+func TestResilienceSweep(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Engine.RecoveryBackoff = 2
+	cfg.Engine.ReplanAfterFails = 5
+	rows, err := Resilience(cfg, []float64{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(ResilienceDesigns); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		label := r.Design.String()
+		checkCell(t, label, r.Cell)
+		if r.Intensity == 0 {
+			if r.Recoveries.Mean() != 0 || r.Replans.Mean() != 0 || r.SkippedCorrections.Mean() != 0 {
+				t.Errorf("%s: recovery activity at zero fault intensity", label)
+			}
+		}
+		if d := r.Delivered.Mean(); d < 0 || d > 1 {
+			t.Errorf("%s: delivered fraction %v", label, d)
+		}
+	}
+}
+
+func TestResilienceProfileScaling(t *testing.T) {
+	if ResilienceProfile(0).Enabled() {
+		t.Error("zero intensity should disable every fault scenario")
+	}
+	p := ResilienceProfile(1000)
+	if p.FiberCrashProb > 1 || p.NodeOutageProb > 1 || p.RegionalProb > 1 || p.DriftProb > 1 {
+		t.Error("extreme intensities must clamp probabilities to 1")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("scaled profile invalid: %v", err)
+	}
+}
+
+// TestResilienceWorkerInvariance pins the determinism contract on
+// fault-injected runs: with fiber crashes, node outages, regional failures,
+// and fidelity drift all active — plus backoff recovery and epoch
+// re-planning — every cell is field-for-field identical for any worker count.
+func TestResilienceWorkerInvariance(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Trials = 3
+	cfg.Engine.RecoveryBackoff = 2
+	cfg.Engine.ReplanAfterFails = 4
+	cfg.Engine.ReplanEpoch = 20
+	var want []ResilienceRow
+	for _, w := range workerCounts {
+		cfg.Workers = w
+		rows, err := Resilience(cfg, []float64{6})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, want) {
+			t.Fatalf("workers=%d: rows diverge from serial run\ngot  %+v\nwant %+v", w, rows, want)
+		}
+	}
+}
+
+func TestResilienceHonoursContext(t *testing.T) {
+	cfg := tinyConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Context = ctx
+	if _, err := Resilience(cfg, []float64{1}); err == nil {
+		t.Fatal("cancelled context should abort the sweep")
+	}
+}
+
+func TestResilienceScriptedProfileUsable(t *testing.T) {
+	// The engine accepts a scripted profile through the experiment config
+	// path (the faultsim CLI builds one for what-if runs).
+	cfg := tinyConfig()
+	cfg.Engine.Faults = &faults.Profile{
+		Script: []faults.ScriptedFault{{Slot: 5, Duration: 10, ID: 0}},
+	}
+	rows, err := Resilience(cfg, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		checkCell(t, r.Design.String(), r.Cell)
+	}
+}

@@ -2,6 +2,7 @@ package surfnet
 
 import (
 	"surfnet/internal/core"
+	"surfnet/internal/faults"
 	"surfnet/internal/network"
 	"surfnet/internal/routing"
 	"surfnet/internal/topology"
@@ -134,3 +135,11 @@ func DefaultRounds() RoundConfig { return core.DefaultRoundConfig() }
 func Operate(net *Network, rc RoundConfig, src *Rand) (RoundsResult, error) {
 	return core.RunRounds(net, rc, src)
 }
+
+// FaultProfile is the declarative fault-injection scenario attached to an
+// EngineConfig: stochastic fiber crashes, node/server outages, correlated
+// regional failures, fidelity drift, and scripted outage timetables.
+type FaultProfile = faults.Profile
+
+// ScriptedFault is one entry of an exact outage timetable.
+type ScriptedFault = faults.ScriptedFault
