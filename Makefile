@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check
+.PHONY: build test race vet check bench-json obs-smoke
 
 build:
 	$(GO) build ./...
@@ -16,3 +16,14 @@ vet:
 
 # The standard pre-commit check.
 check: vet race
+
+# Machine-readable benchmark trajectory: run the decoder and sim benchmarks
+# and emit BENCH_decoder.json (ns/op, B/op, allocs/op per benchmark).
+bench-json:
+	$(GO) test -run '^$$' -bench 'SurfNetDecoder|UnionFindDecoder|MWPMDecoder|DecodeFrameAllocs|RunOverhead' \
+		-benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_decoder.json
+
+# Launch surfnetsim with the obs server on a tiny figure and curl its
+# endpoints (same script CI runs).
+obs-smoke:
+	./scripts/obs_smoke.sh

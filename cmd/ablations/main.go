@@ -6,13 +6,14 @@
 // Usage:
 //
 //	ablations [-study adaptive|stepsize|corelayout|erasure|scheduler|wait|all]
-//	          [-trials N] [-seed S] [-workers N]
+//	          [-trials N] [-seed S] [-workers N] [-listen ADDR] [-log-level LEVEL]
 //	          [-metrics-out F] [-trace-out F] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"surfnet/internal/cliutil"
@@ -23,7 +24,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (exit int) {
 	study := flag.String("study", "all", "study to run: adaptive, stepsize, corelayout, erasure, scheduler, wait, or all")
 	trials := flag.Int("trials", 2000, "Monte-Carlo trials per decoder point / networks per cell (scaled down x100 for network studies)")
 	seed := flag.Uint64("seed", 1, "root random seed")
@@ -32,14 +33,10 @@ func run() int {
 	flag.Parse()
 
 	if err := obs.Start(); err != nil {
-		fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
+		slog.Error("ablations: startup failed", "err", err)
 		return 1
 	}
-	defer func() {
-		if err := obs.Finish(); err != nil {
-			fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
-		}
-	}()
+	defer cliutil.ExitOnFinishError(&obs, &exit)
 
 	netCfg := experiments.DefaultConfig()
 	netCfg.Context = obs.Context()
@@ -49,13 +46,15 @@ func run() int {
 	netCfg.Workers = obs.Workers
 	netCfg.Metrics = obs.Registry
 	netCfg.Tracer = obs.TracerOrNil()
+	netCfg.Progress = obs.Progress
 
 	decCfg := experiments.DecoderStudyConfig{
-		Context: obs.Context(),
-		Seed:    *seed,
-		Trials:  *trials,
-		Workers: obs.Workers,
-		Metrics: obs.Registry,
+		Context:  obs.Context(),
+		Seed:     *seed,
+		Trials:   *trials,
+		Workers:  obs.Workers,
+		Metrics:  obs.Registry,
+		Progress: obs.Progress,
 	}
 
 	runStudy := func(name string) error {
@@ -116,8 +115,9 @@ func run() int {
 		studies = []string{"adaptive", "stepsize", "corelayout", "erasure", "scheduler", "wait"}
 	}
 	for _, s := range studies {
+		slog.Info("running study", "study", s, "workers", obs.Workers)
 		if err := runStudy(s); err != nil {
-			fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
+			slog.Error("ablations: study failed", "study", s, "err", err)
 			return 1
 		}
 	}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkSurfNetDecoder/d=9-8   \t  1215\t    987654 ns/op\t  120 B/op\t   3 allocs/op", "surfnet")
+	if !ok {
+		t.Fatal("benchmem line not parsed")
+	}
+	if b.Name != "BenchmarkSurfNetDecoder/d=9" || b.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 1215 || b.NsPerOp != 987654 || b.BytesPerOp != 120 || b.AllocsPerOp != 3 {
+		t.Fatalf("values = %+v", b)
+	}
+	if b.Package != "surfnet" {
+		t.Fatalf("package = %q", b.Package)
+	}
+
+	b, ok = parseLine("BenchmarkRunOverhead 	 500	   2000.5 ns/op", "")
+	if !ok || b.NsPerOp != 2000.5 || b.Procs != 1 {
+		t.Fatalf("plain line = %+v ok=%v", b, ok)
+	}
+
+	for _, line := range []string{
+		"PASS",
+		"ok  	surfnet	1.2s",
+		"goos: linux",
+		"--- BENCH: BenchmarkFoo",
+		"BenchmarkBroken notanumber ns/op",
+	} {
+		if _, ok := parseLine(line, ""); ok {
+			t.Errorf("non-result line parsed: %q", line)
+		}
+	}
+}
+
+func TestParseNameWithoutProcsSuffix(t *testing.T) {
+	name, procs := parseName("BenchmarkMWPMDecoder/d=13")
+	if name != "BenchmarkMWPMDecoder/d=13" || procs != 1 {
+		t.Fatalf("got %q/%d", name, procs)
+	}
+	name, procs = parseName("BenchmarkDecodeFrameAllocs-16")
+	if name != "BenchmarkDecodeFrameAllocs" || procs != 16 {
+		t.Fatalf("got %q/%d", name, procs)
+	}
+}

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	decoderbench [-trials N] [-distances 9,11,13,15] [-erasure 0.15] [-seed S] [-mwpm]
-//	             [-workers N] [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	             [-workers N] [-listen ADDR] [-log-level LEVEL] [-metrics-out FILE]
+//	             [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -workers sizes the deterministic trial pool (default GOMAXPROCS); results
 // are identical for every value.
@@ -16,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
@@ -29,7 +31,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (exit int) {
 	trials := flag.Int("trials", 300, "Monte-Carlo trials per (decoder, distance, rate) point")
 	distances := flag.String("distances", "9,11,13,15", "comma-separated code distances")
 	erasure := flag.Float64("erasure", 0.15, "fixed erasure rate (paper: 15%)")
@@ -40,16 +42,12 @@ func run() int {
 	flag.Parse()
 
 	if err := obs.Start(); err != nil {
-		fmt.Fprintf(os.Stderr, "decoderbench: %v\n", err)
+		slog.Error("decoderbench: startup failed", "err", err)
 		return 1
 	}
 	// The latency report below always needs a registry, -metrics-out or not.
 	obs.ForceMetrics()
-	defer func() {
-		if err := obs.Finish(); err != nil {
-			fmt.Fprintf(os.Stderr, "decoderbench: %v\n", err)
-		}
-	}()
+	defer cliutil.ExitOnFinishError(&obs, &exit)
 
 	cfg := surfnet.DefaultFig8()
 	cfg.Context = obs.Context()
@@ -58,11 +56,12 @@ func run() int {
 	cfg.Seed = *seed
 	cfg.Workers = obs.Workers
 	cfg.Metrics = obs.Registry
+	cfg.Progress = obs.Progress
 	var ds []int
 	for _, part := range strings.Split(*distances, ",") {
 		d, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "decoderbench: bad distance %q: %v\n", part, err)
+			slog.Error("decoderbench: bad -distances entry", "entry", part, "err", err)
 			return 1
 		}
 		ds = append(ds, d)
@@ -72,9 +71,10 @@ func run() int {
 		cfg.Decoders = append(cfg.Decoders, surfnet.NewMWPMDecoder())
 	}
 
+	slog.Info("running threshold study", "trials", cfg.Trials, "distances", *distances, "workers", cfg.Workers)
 	points, err := surfnet.Fig8(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "decoderbench: %v\n", err)
+		slog.Error("decoderbench: study failed", "err", err)
 		return 1
 	}
 	fmt.Printf("Fig 8: logical error rate vs Pauli rate (erasure %.0f%%, Core rates halved, %d trials/point)\n",

@@ -11,7 +11,8 @@
 //	faultsim [-intensities 0,0.5,1,2,4,8] [-trials N] [-requests K] [-seed S] [-greedy]
 //	         [-backoff SLOTS] [-backoff-max SLOTS] [-replan-fails N] [-replan-epoch SLOTS]
 //	         [-script SLOT:fiber|node:ID:DURATION,...]
-//	         [-workers N] [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-workers N] [-listen ADDR] [-log-level LEVEL] [-metrics-out FILE]
+//	         [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -backoff enables exponential retry backoff for blocked code parts (0 keeps
 // the legacy every-slot retry); -replan-fails triggers a full epoch re-plan
@@ -27,6 +28,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
@@ -90,7 +92,7 @@ func parseScript(arg string) ([]surfnet.ScriptedFault, error) {
 	return script, nil
 }
 
-func run() int {
+func run() (exit int) {
 	intensities := flag.String("intensities", "", "comma-separated fault intensities (empty: 0,0.5,1,2,4,8)")
 	trials := flag.Int("trials", 12, "random networks per sweep cell")
 	requests := flag.Int("requests", 8, "communication requests per trial")
@@ -106,25 +108,22 @@ func run() int {
 	obs.Register(flag.CommandLine)
 	flag.Parse()
 
+	if err := obs.Start(); err != nil {
+		slog.Error("faultsim: startup failed", "err", err)
+		return 1
+	}
+	defer cliutil.ExitOnFinishError(&obs, &exit)
+
 	xs, err := parseIntensities(*intensities)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		slog.Error("faultsim: bad -intensities", "err", err)
 		return 1
 	}
 	script, err := parseScript(*scriptArg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		slog.Error("faultsim: bad -script", "err", err)
 		return 1
 	}
-	if err := obs.Start(); err != nil {
-		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-		return 1
-	}
-	defer func() {
-		if err := obs.Finish(); err != nil {
-			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-		}
-	}()
 
 	cfg := surfnet.DefaultExperiments()
 	cfg.Context = obs.Context()
@@ -136,6 +135,7 @@ func run() int {
 	cfg.Workers = obs.Workers
 	cfg.Metrics = obs.Registry
 	cfg.Tracer = obs.TracerOrNil()
+	cfg.Progress = obs.Progress
 	cfg.Engine.RecoveryBackoff = *backoff
 	cfg.Engine.RecoveryBackoffMax = *backoffMax
 	cfg.Engine.ReplanAfterFails = *replanFails
@@ -145,9 +145,10 @@ func run() int {
 	}
 
 	prev := obs.Registry.Snapshot()
+	slog.Info("running resilience sweep", "trials", cfg.Trials, "workers", cfg.Workers)
 	rows, err := surfnet.Resilience(cfg, xs)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		slog.Error("faultsim: sweep failed", "err", err)
 		return 1
 	}
 	fmt.Println("Resilience: designs under swept fault intensity (sufficient/good scenario)")

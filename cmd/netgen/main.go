@@ -6,12 +6,14 @@
 // Usage:
 //
 //	netgen [-scenario abundant|sufficient|insufficient] [-connection good|poor] [-nodes N] [-seed S]
-//	       [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	       [-listen ADDR] [-log-level LEVEL] [-metrics-out FILE] [-trace-out FILE]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"surfnet"
@@ -22,7 +24,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (exit int) {
 	scenario := flag.String("scenario", "sufficient", "facility scenario: abundant, sufficient, insufficient")
 	connection := flag.String("connection", "good", "fiber quality: good ([0.75,1]) or poor ([0.5,1])")
 	nodes := flag.Int("nodes", 24, "node count (paper: over 20)")
@@ -32,14 +34,10 @@ func run() int {
 	flag.Parse()
 
 	if err := obs.Start(); err != nil {
-		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+		slog.Error("netgen: startup failed", "err", err)
 		return 1
 	}
-	defer func() {
-		if err := obs.Finish(); err != nil {
-			fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
-		}
-	}()
+	defer cliutil.ExitOnFinishError(&obs, &exit)
 
 	var fac surfnet.Facilities
 	switch *scenario {
@@ -50,7 +48,7 @@ func run() int {
 	case "insufficient":
 		fac = surfnet.Insufficient
 	default:
-		fmt.Fprintf(os.Stderr, "netgen: unknown scenario %q\n", *scenario)
+		slog.Error("netgen: unknown scenario", "scenario", *scenario)
 		return 1
 	}
 	var fr surfnet.FidelityRange
@@ -60,14 +58,14 @@ func run() int {
 	case "poor":
 		fr = surfnet.PoorConnection
 	default:
-		fmt.Fprintf(os.Stderr, "netgen: unknown connection %q\n", *connection)
+		slog.Error("netgen: unknown connection", "connection", *connection)
 		return 1
 	}
 	params := surfnet.DefaultTopology(fac, fr)
 	params.Nodes = *nodes
 	net, err := surfnet.GenerateNetwork(params, surfnet.NewRand(*seed))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+		slog.Error("netgen: generating network failed", "err", err)
 		return 1
 	}
 

@@ -8,12 +8,14 @@
 //
 //	routesolve [-design surfnet|raw|purification-1|purification-2|purification-9]
 //	           [-scenario ...] [-connection ...] [-requests K] [-messages M] [-seed S]
-//	           [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	           [-listen ADDR] [-log-level LEVEL] [-metrics-out FILE] [-trace-out FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"surfnet"
@@ -24,7 +26,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (exit int) {
 	design := flag.String("design", "surfnet", "network design: surfnet, raw, purification-1/2/9")
 	scenario := flag.String("scenario", "sufficient", "facility scenario")
 	connection := flag.String("connection", "good", "fiber quality: good or poor")
@@ -34,6 +36,14 @@ func run() int {
 	var obs cliutil.Observability
 	obs.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := obs.Start(); err != nil {
+		slog.Error("routesolve: startup failed", "err", err)
+		return 1
+	}
+	// The solver report below always needs a registry, -metrics-out or not.
+	obs.ForceMetrics()
+	defer cliutil.ExitOnFinishError(&obs, &exit)
 
 	var d surfnet.Design
 	switch *design {
@@ -48,7 +58,7 @@ func run() int {
 	case "purification-9":
 		d = surfnet.DesignPurification9
 	default:
-		fmt.Fprintf(os.Stderr, "routesolve: unknown design %q\n", *design)
+		slog.Error("routesolve: unknown design", "design", *design)
 		return 1
 	}
 	var fac surfnet.Facilities
@@ -60,7 +70,7 @@ func run() int {
 	case "insufficient":
 		fac = surfnet.Insufficient
 	default:
-		fmt.Fprintf(os.Stderr, "routesolve: unknown scenario %q\n", *scenario)
+		slog.Error("routesolve: unknown scenario", "scenario", *scenario)
 		return 1
 	}
 	fr := surfnet.GoodConnection
@@ -68,27 +78,15 @@ func run() int {
 		fr = surfnet.PoorConnection
 	}
 
-	if err := obs.Start(); err != nil {
-		fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
-		return 1
-	}
-	// The solver report below always needs a registry, -metrics-out or not.
-	obs.ForceMetrics()
-	defer func() {
-		if err := obs.Finish(); err != nil {
-			fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
-		}
-	}()
-
 	src := surfnet.NewRand(*seed)
 	net, err := surfnet.GenerateNetwork(surfnet.DefaultTopology(fac, fr), src)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
+		slog.Error("routesolve: generating network failed", "err", err)
 		return 1
 	}
 	reqs, err := surfnet.GenRequests(net, *requests, *messages, src.Split("reqs"))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
+		slog.Error("routesolve: generating requests failed", "err", err)
 		return 1
 	}
 	p := surfnet.DefaultRouting(d)
@@ -96,7 +94,7 @@ func run() int {
 	p.Tracer = obs.TracerOrNil()
 	sched, err := surfnet.ScheduleRoutes(net, reqs, p)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "routesolve: %v\n", err)
+		slog.Error("routesolve: scheduling failed", "err", err)
 		return 1
 	}
 

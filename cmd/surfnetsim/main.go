@@ -6,20 +6,23 @@
 // Usage:
 //
 //	surfnetsim -fig 6a|6b1|6b2|6b3|6b4|7|all [-trials N] [-requests K] [-seed S] [-greedy]
-//	           [-workers N] [-metrics-out FILE] [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	           [-workers N] [-listen ADDR] [-log-level LEVEL] [-metrics-out FILE]
+//	           [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -workers sizes the deterministic trial pool (default GOMAXPROCS); results
 // are identical for every value.
 //
 // -fig accepts a comma-separated list ("-fig 6a,7"). With -metrics-out the
 // run prints a per-figure counter delta after each figure and writes the full
-// JSON snapshot on exit; -trace-out streams every slot-level and routing
-// event as JSON Lines.
+// JSON snapshot on exit; -trace-out streams every slot-level, routing, and
+// span event as JSON Lines. -listen serves /metrics, /healthz, /readyz,
+// /status, and /debug/pprof/ for the duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -62,7 +65,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (exit int) {
 	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 6a, 6b1, 6b2, 6b3, 6b4, 7, or all")
 	trials := flag.Int("trials", 12, "random networks per experiment cell (paper: 1080)")
 	requests := flag.Int("requests", 8, "communication requests per trial")
@@ -73,20 +76,17 @@ func run() int {
 	obs.Register(flag.CommandLine)
 	flag.Parse()
 
+	if err := obs.Start(); err != nil {
+		slog.Error("surfnetsim: startup failed", "err", err)
+		return 1
+	}
+	defer cliutil.ExitOnFinishError(&obs, &exit)
+
 	figs, err := parseFigs(*fig)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "surfnetsim: %v\n", err)
+		slog.Error("surfnetsim: bad -fig", "err", err)
 		return 1
 	}
-	if err := obs.Start(); err != nil {
-		fmt.Fprintf(os.Stderr, "surfnetsim: %v\n", err)
-		return 1
-	}
-	defer func() {
-		if err := obs.Finish(); err != nil {
-			fmt.Fprintf(os.Stderr, "surfnetsim: %v\n", err)
-		}
-	}()
 
 	cfg := surfnet.DefaultExperiments()
 	cfg.Context = obs.Context()
@@ -98,6 +98,7 @@ func run() int {
 	cfg.Workers = obs.Workers
 	cfg.Metrics = obs.Registry
 	cfg.Tracer = obs.TracerOrNil()
+	cfg.Progress = obs.Progress
 
 	runFig := func(name string) error {
 		switch name {
@@ -150,8 +151,9 @@ func run() int {
 
 	for _, f := range figs {
 		prev := obs.Registry.Snapshot()
+		slog.Info("running figure", "fig", f, "trials", cfg.Trials, "workers", cfg.Workers)
 		if err := runFig(f); err != nil {
-			fmt.Fprintf(os.Stderr, "surfnetsim: %v\n", err)
+			slog.Error("surfnetsim: figure failed", "fig", f, "err", err)
 			return 1
 		}
 		if obs.Registry != nil {

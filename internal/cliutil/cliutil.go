@@ -1,21 +1,33 @@
 // Package cliutil is the shared observability harness of the cmd tools:
 // the -metrics-out, -trace-out, -cpuprofile, and -memprofile flags, plus the
 // lifecycle around them (open profile, run, flush trace, write snapshot),
-// and the -workers flag sizing the deterministic trial pool of internal/sim.
+// the -listen flag starting the live observability HTTP server of
+// internal/obs, the -log-level flag configuring the process-wide slog
+// logger, and the -workers flag sizing the deterministic trial pool of
+// internal/sim.
 package cliutil
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
+	"time"
 
+	"surfnet/internal/obs"
 	"surfnet/internal/telemetry"
 )
+
+// shutdownTimeout bounds the obs server's graceful drain in Finish, so a
+// stuck scraper cannot hold up the metrics/trace flush.
+const shutdownTimeout = 3 * time.Second
 
 // Observability bundles the telemetry and profiling state of one CLI run.
 // Register its flags, call Start before the workload and Finish (usually
@@ -26,21 +38,43 @@ type Observability struct {
 	CPUProfile string
 	MemProfile string
 
+	// Listen is the address of the live observability HTTP server
+	// (/metrics, /healthz, /readyz, /status, /debug/pprof/); empty
+	// disables it. ":0" picks an ephemeral port, logged at startup.
+	Listen string
+	// LogLevel names the slog threshold (debug, info, warn, error).
+	LogLevel string
+
 	// Workers is the Monte-Carlo trial pool size. Results are identical
 	// for every value (trials are seeded by index, not worker), so this
 	// only trades wall time for cores.
 	Workers int
 
-	// Registry is non-nil once Start ran with -metrics-out set, or after
-	// ForceMetrics; pass it to the experiment configs.
+	// Registry is non-nil once Start ran with -metrics-out or -listen set,
+	// or after ForceMetrics; pass it to the experiment configs.
 	Registry *telemetry.Registry
 	// Tracer is non-nil once Start ran with -trace-out set.
 	Tracer *telemetry.JSONL
+	// Progress is non-nil once Start ran with -listen set; pass it to the
+	// experiment configs so /status shows live sweep progress.
+	Progress *obs.Tracker
 
 	cpuFile   *os.File
 	traceFile *os.File
+	server    *obs.Server
+	addr      net.Addr
 	ctx       context.Context
 	stop      context.CancelFunc
+}
+
+// Addr reports the observability server's bound address ("" before Start or
+// without -listen). With "-listen :0" this is where the ephemeral port
+// landed.
+func (o *Observability) Addr() string {
+	if o.addr == nil {
+		return ""
+	}
+	return o.addr.String()
 }
 
 // Context returns the run context: it is cancelled on SIGINT/SIGTERM once
@@ -60,6 +94,9 @@ func (o *Observability) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.TraceOut, "trace-out", "", "write a JSONL event trace to this file")
 	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&o.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&o.Listen, "listen", "",
+		"serve live observability HTTP (/metrics /healthz /readyz /status /debug/pprof/) on this address; :0 picks a port")
+	fs.StringVar(&o.LogLevel, "log-level", "info", "log threshold: debug, info, warn, or error")
 	fs.IntVar(&o.Workers, "workers", runtime.GOMAXPROCS(0),
 		"trial worker-pool size (results are identical for any value; 1 forces serial)")
 }
@@ -83,9 +120,40 @@ func (o *Observability) TracerOrNil() telemetry.Tracer {
 	return o.Tracer
 }
 
-// Start opens the configured outputs, starts the CPU profile, and installs
-// the signal-aware run context.
+// parseLogLevel maps a -log-level value onto its slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("log-level: unknown level %q (want debug, info, warn, or error)", s)
+}
+
+// SetupLogging installs the process-wide slog default: text on stderr at the
+// configured -log-level. It is separate from Start so flag errors in it
+// surface before any output file is created.
+func (o *Observability) SetupLogging() error {
+	level, err := parseLogLevel(o.LogLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+	return nil
+}
+
+// Start configures logging, opens the configured outputs, starts the CPU
+// profile and the observability server, and installs the signal-aware run
+// context.
 func (o *Observability) Start() error {
+	if err := o.SetupLogging(); err != nil {
+		return err
+	}
 	o.ctx, o.stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	if o.MetricsOut != "" {
 		o.ForceMetrics()
@@ -109,12 +177,26 @@ func (o *Observability) Start() error {
 		}
 		o.cpuFile = f
 	}
+	if o.Listen != "" {
+		o.ForceMetrics()
+		o.Progress = obs.NewTracker()
+		o.server = obs.NewServer(o.Registry, o.Progress)
+		addr, err := o.server.Listen(o.Listen)
+		if err != nil {
+			return fmt.Errorf("listen: %w", err)
+		}
+		o.addr = addr
+		slog.Info("observability server listening", "addr", addr.String())
+		o.server.SetReady(true)
+	}
 	return nil
 }
 
-// Finish stops the CPU profile, writes the heap profile and the metrics
-// snapshot, and flushes the trace. It returns the first error encountered
-// but always attempts every step.
+// Finish shuts down the observability server, stops the CPU profile, writes
+// the heap profile and the metrics snapshot, and flushes the trace. It
+// returns the first error encountered but always attempts every step. A
+// non-nil error means observability output was lost — callers should exit
+// non-zero.
 func (o *Observability) Finish() error {
 	var first error
 	keep := func(err error) {
@@ -125,6 +207,12 @@ func (o *Observability) Finish() error {
 	if o.stop != nil {
 		o.stop() // restore default signal handling
 		o.stop = nil
+	}
+	if o.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		keep(o.server.Shutdown(ctx))
+		cancel()
+		o.server = nil
 	}
 	if o.cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -142,10 +230,10 @@ func (o *Observability) Finish() error {
 		}
 	}
 	if o.Tracer != nil {
-		keep(o.Tracer.Flush())
+		keep(wrapErr("trace-out", o.Tracer.Flush()))
 	}
 	if o.traceFile != nil {
-		keep(o.traceFile.Close())
+		keep(wrapErr("trace-out", o.traceFile.Close()))
 		o.traceFile = nil
 	}
 	if o.MetricsOut != "" && o.Registry != nil {
@@ -153,9 +241,30 @@ func (o *Observability) Finish() error {
 		if err != nil {
 			keep(fmt.Errorf("metrics-out: %w", err))
 		} else {
-			keep(o.Registry.Snapshot().WriteJSON(f))
-			keep(f.Close())
+			keep(wrapErr("metrics-out", o.Registry.Snapshot().WriteJSON(f)))
+			keep(wrapErr("metrics-out", f.Close()))
 		}
 	}
 	return first
+}
+
+// wrapErr prefixes a sink error with the flag it belongs to, so "disk full"
+// says which output was lost.
+func wrapErr(sink string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s: %w", sink, err)
+}
+
+// ExitOnFinishError is the shared deferred tail of every CLI main: it runs
+// Finish, logs any sink failure, and forces the named exit code to 1 so a
+// run whose observability output was lost cannot exit 0.
+func ExitOnFinishError(o *Observability, exit *int) {
+	if err := o.Finish(); err != nil {
+		slog.Error("observability output lost", "err", err)
+		if *exit == 0 {
+			*exit = 1
+		}
+	}
 }

@@ -1,0 +1,168 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"surfnet/internal/telemetry"
+)
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := parseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("parseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseLogLevel("loud"); err == nil {
+		t.Error("parseLogLevel accepted an unknown level")
+	}
+}
+
+func makeEvent() telemetry.Event {
+	return telemetry.Ev("test", "k", 1)
+}
+
+func TestStartWithListenWiresEverythingAndFinishShutsDown(t *testing.T) {
+	var o Observability
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.Register(fs)
+	if err := fs.Parse([]string{"-listen", "127.0.0.1:0", "-log-level", "error"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Registry == nil || o.Progress == nil || o.server == nil {
+		t.Fatal("-listen did not wire registry, progress tracker, and server")
+	}
+	if o.Addr() == "" || strings.HasSuffix(o.Addr(), ":0") {
+		t.Fatalf("Addr() = %q, want a resolved ephemeral port", o.Addr())
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/readyz", o.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/readyz while started = %d, want 200", resp.StatusCode)
+	}
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", o.Addr())); err == nil {
+		t.Fatal("server still serving after Finish")
+	}
+}
+
+func TestFinishSurfacesMetricsOutError(t *testing.T) {
+	dir := t.TempDir()
+	var o Observability
+	o.MetricsOut = filepath.Join(dir, "missing-subdir", "metrics.json")
+	o.ForceMetrics()
+	err := o.Finish()
+	if err == nil {
+		t.Fatal("Finish ignored an unwritable -metrics-out path")
+	}
+	if !strings.Contains(err.Error(), "metrics-out") {
+		t.Fatalf("error %q does not name the failing sink", err)
+	}
+}
+
+func TestFinishSurfacesTraceFlushError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	var o Observability
+	o.TraceOut = path
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Close the underlying file behind the tracer's back: the buffered
+	// flush in Finish must surface the write failure, not swallow it.
+	o.traceFile.Close()
+	o.Tracer.Emit(makeEvent())
+	err := o.Finish()
+	if err == nil {
+		t.Fatal("Finish ignored a trace flush failure")
+	}
+	if !strings.Contains(err.Error(), "trace-out") {
+		t.Fatalf("error %q does not name the failing sink", err)
+	}
+}
+
+func TestExitOnFinishErrorForcesNonZero(t *testing.T) {
+	dir := t.TempDir()
+	var o Observability
+	o.MetricsOut = filepath.Join(dir, "no-such-dir", "m.json")
+	o.ForceMetrics()
+	exit := 0
+	ExitOnFinishError(&o, &exit)
+	if exit != 1 {
+		t.Fatalf("exit = %d after sink failure, want 1", exit)
+	}
+
+	var ok Observability
+	exit = 0
+	ExitOnFinishError(&ok, &exit)
+	if exit != 0 {
+		t.Fatalf("exit = %d on clean finish, want 0", exit)
+	}
+}
+
+func TestWriteOutputsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var o Observability
+	o.MetricsOut = filepath.Join(dir, "metrics.json")
+	o.TraceOut = filepath.Join(dir, "trace.jsonl")
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	o.Registry.Counter("sim.trials").Inc()
+	o.Tracer.Emit(makeEvent())
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := os.ReadFile(o.MetricsOut)
+	if err != nil || !strings.Contains(string(m), "sim.trials") {
+		t.Fatalf("metrics snapshot missing: %v %q", err, m)
+	}
+	tr, err := os.ReadFile(o.TraceOut)
+	if err != nil || !strings.Contains(string(tr), `"event"`) {
+		t.Fatalf("trace missing: %v %q", err, tr)
+	}
+}
+
+func TestListenScrapeOverHTTP(t *testing.T) {
+	var o Observability
+	o.Listen = "127.0.0.1:0"
+	o.LogLevel = "error"
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Finish()
+	o.Registry.Counter("cli.test").Add(9)
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", o.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "surfnet_cli_test_total 9\n") {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+}

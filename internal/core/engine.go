@@ -402,6 +402,10 @@ func runPurification(net *network.Network, sched routing.Schedule, cfg Config, r
 		ev.Slot, ev.Req, ev.Code = slot, ri, ci
 		cfg.Tracer.Emit(ev)
 	}
+	// The baseline has no epochs or decodes, but its transfer still gets a
+	// root span so every design's latency is decomposable from one trace.
+	spans := telemetry.NewSpanSet(cfg.Tracer, ri, ci)
+	transferSpan := spans.Start("transfer", 0, 0)
 	n := sched.Design.PurifyRounds()
 	path := cr.CorePath
 	need := 1 + n
@@ -464,6 +468,7 @@ func runPurification(net *network.Network, sched routing.Schedule, cfg Config, r
 	if !ready {
 		ins.timeouts.Inc()
 		trace(cfg.MaxSlots, "core.timeout", "design", sched.Design.String())
+		spans.End(transferSpan, cfg.MaxSlots, "delivered", false, "success", false)
 		return out, nil // timed out waiting for the chain
 	}
 	out.Delivered = true
@@ -495,5 +500,6 @@ func runPurification(net *network.Network, sched routing.Schedule, cfg Config, r
 	ins.latency.Observe(float64(out.Latency))
 	trace(slot, "core.deliver", "design", sched.Design.String(),
 		"latency", out.Latency, "success", out.Success)
+	spans.End(transferSpan, slot, "delivered", true, "success", out.Success)
 	return out, nil
 }

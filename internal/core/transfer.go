@@ -74,6 +74,13 @@ type transfer struct {
 	ins     instruments
 	reqIdx  int // request index, tagged onto telemetry
 	codeIdx int // code index within the request
+
+	// Hierarchical spans decomposing the transfer causally: one transfer
+	// span holding epoch spans (route generations, rotated on re-plan),
+	// holding slot spans, holding decode spans. All nil-safe when untraced.
+	spans        *telemetry.SpanSet
+	transferSpan int
+	epochSpan    int
 }
 
 // trace emits a slot-scoped event tagged with the communication's identity.
@@ -131,70 +138,112 @@ func nodeSeq(net *network.Network, src int, fibers []int) []int {
 	return nodes
 }
 
-// run drives the transfer to completion or timeout.
+// run drives the transfer to completion or timeout, one step per slot. It
+// owns the span hierarchy: the transfer span brackets the whole attempt, an
+// epoch span brackets each route generation (rotated by replan), and every
+// slot gets its own span so latency decomposes causally in the trace.
 func (t *transfer) run() (Outcome, error) {
+	t.spans = telemetry.NewSpanSet(t.cfg.Tracer, t.reqIdx, t.codeIdx)
+	t.transferSpan = t.spans.Start("transfer", 0, 0)
+	t.epochSpan = t.spans.Start("epoch", t.transferSpan, 0)
 	for slot := 0; slot < t.cfg.MaxSlots; slot++ {
+		// Faults and re-planning run before the slot span opens, so a
+		// re-plan rotates the epoch first and the slot attaches to the
+		// epoch it actually executes in.
 		t.stepFaults(slot)
 		t.maybeReplan(slot)
-		stop := t.stopNodes[t.nextStop]
-		supStop := t.support.stopIdx(stop)
-		if t.support.pos < supStop {
-			t.advanceSupport(slot, supStop)
-			supStop = t.support.stopIdx(stop) // recovery may reroute
+		slotSpan := t.spans.Start("slot", t.epochSpan, slot)
+		done, err := t.step(slot, slotSpan)
+		t.spans.End(slotSpan, slot+1)
+		if err != nil {
+			t.endSpans(slot + 1)
+			return t.out, err
 		}
-		coreArrived := true
-		if t.design == routing.SurfNet {
-			coreStop := t.core.stopIdx(stop)
-			if t.core.pos < coreStop {
-				t.advanceCore(slot, coreStop)
-				coreStop = t.core.stopIdx(stop)
-			}
-			coreArrived = t.core.pos >= coreStop
-		}
-		if t.support.pos == supStop && coreArrived {
-			atDst := t.nextStop == len(t.stopNodes)-1
-			if !atDst && t.nodeDown(stop) {
-				// The scheduled server is out of service: skip this
-				// correction and let the accumulated error ride to the
-				// next decode opportunity (ultimately the destination).
-				t.out.SkippedCorrections++
-				t.ins.correctionSkips.Inc()
-				t.trace(slot, "core.correction_skip", "node", stop, "stop", t.nextStop)
-				t.nextStop++
-				continue // passing through still costs the slot
-			}
-			if t.cfg.WaitForComplete && t.anyErased() {
-				t.retransmit(supStop)
-				t.out.Retransmissions++
-				t.ins.retransmissions.Inc()
-				continue // retransmission wave costs this slot
-			}
-			ok, err := t.decode(slot)
-			if err != nil {
-				return t.out, err
-			}
-			if !ok {
-				t.failedOnce = true
-			}
-			if atDst {
-				t.out.Delivered = true
-				t.out.Latency = slot + 1 // decode completes this slot
-				t.out.Success = !t.failedOnce
-				t.ins.delivered.Inc()
-				t.ins.latency.Observe(float64(t.out.Latency))
-				t.trace(slot, "core.deliver",
-					"latency", t.out.Latency, "success", t.out.Success,
-					"corrections", t.out.Corrections, "recoveries", t.out.Recoveries)
-				return t.out, nil
-			}
-			t.out.Corrections++
-			t.nextStop++
+		if done {
+			t.endSpans(slot + 1)
+			return t.out, nil
 		}
 	}
 	t.ins.timeouts.Inc()
 	t.trace(t.cfg.MaxSlots, "core.timeout",
 		"stop", t.nextStop, "stops", len(t.stopNodes))
+	t.endSpans(t.cfg.MaxSlots)
 	return t.out, nil // timed out: not delivered
+}
+
+// endSpans closes the current epoch and the transfer span with the outcome
+// summary, so a trace reader can decompose the final latency without
+// re-deriving it from slot events.
+func (t *transfer) endSpans(slot int) {
+	t.spans.End(t.epochSpan, slot)
+	t.spans.End(t.transferSpan, slot,
+		"delivered", t.out.Delivered, "success", t.out.Success,
+		"corrections", t.out.Corrections, "recoveries", t.out.Recoveries,
+		"replans", t.out.Replans)
+}
+
+// step advances the transfer by one slot; done reports delivery. slotSpan is
+// the slot's span, the parent of any decode performed this slot.
+func (t *transfer) step(slot, slotSpan int) (done bool, err error) {
+	stop := t.stopNodes[t.nextStop]
+	supStop := t.support.stopIdx(stop)
+	if t.support.pos < supStop {
+		t.advanceSupport(slot, supStop)
+		supStop = t.support.stopIdx(stop) // recovery may reroute
+	}
+	coreArrived := true
+	if t.design == routing.SurfNet {
+		coreStop := t.core.stopIdx(stop)
+		if t.core.pos < coreStop {
+			t.advanceCore(slot, coreStop)
+			coreStop = t.core.stopIdx(stop)
+		}
+		coreArrived = t.core.pos >= coreStop
+	}
+	if t.support.pos != supStop || !coreArrived {
+		return false, nil
+	}
+	atDst := t.nextStop == len(t.stopNodes)-1
+	if !atDst && t.nodeDown(stop) {
+		// The scheduled server is out of service: skip this correction and
+		// let the accumulated error ride to the next decode opportunity
+		// (ultimately the destination).
+		t.out.SkippedCorrections++
+		t.ins.correctionSkips.Inc()
+		t.trace(slot, "core.correction_skip", "node", stop, "stop", t.nextStop)
+		t.nextStop++
+		return false, nil // passing through still costs the slot
+	}
+	if t.cfg.WaitForComplete && t.anyErased() {
+		t.retransmit(supStop)
+		t.out.Retransmissions++
+		t.ins.retransmissions.Inc()
+		return false, nil // retransmission wave costs this slot
+	}
+	decodeSpan := t.spans.Start("decode", slotSpan, slot)
+	ok, err := t.decode(slot)
+	if err != nil {
+		t.spans.End(decodeSpan, slot)
+		return false, err
+	}
+	t.spans.End(decodeSpan, slot, "failed", !ok)
+	if !ok {
+		t.failedOnce = true
+	}
+	if atDst {
+		t.out.Delivered = true
+		t.out.Latency = slot + 1 // decode completes this slot
+		t.out.Success = !t.failedOnce
+		t.ins.delivered.Inc()
+		t.ins.latency.Observe(float64(t.out.Latency))
+		t.trace(slot, "core.deliver",
+			"latency", t.out.Latency, "success", t.out.Success,
+			"corrections", t.out.Corrections, "recoveries", t.out.Recoveries)
+		return true, nil
+	}
+	t.out.Corrections++
+	t.nextStop++
+	return false, nil
 }
 
 // remainingFibers visits every fiber still ahead of either part.
@@ -527,6 +576,10 @@ func (t *transfer) replan(slot int) {
 	t.setRoute(sched.Requests[0].Codes[0])
 	t.out.Replans++
 	t.ins.replans.Inc()
+	// A successful re-plan starts a new route generation: rotate the epoch
+	// span so subsequent slots attach to the fresh epoch.
+	t.spans.End(t.epochSpan, slot, "replanned", true)
+	t.epochSpan = t.spans.Start("epoch", t.transferSpan, slot)
 	t.trace(slot, "core.replan",
 		"hops", len(t.support.path), "stops", len(t.stopNodes))
 }

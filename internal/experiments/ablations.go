@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"surfnet/internal/decoder"
+	"surfnet/internal/obs"
 	"surfnet/internal/routing"
+	"surfnet/internal/sim"
 	"surfnet/internal/surfacecode"
 	"surfnet/internal/telemetry"
 	"surfnet/internal/topology"
@@ -74,6 +76,9 @@ type DecoderStudyConfig struct {
 	// Metrics, when non-nil, collects per-decoder telemetry across the
 	// study's trials.
 	Metrics *telemetry.Registry
+	// Progress, when non-nil, receives one live cell per ablation variant
+	// for the obs /status endpoint.
+	Progress *obs.Tracker
 }
 
 // DefaultDecoderStudyConfig returns interactively sized study settings.
@@ -94,7 +99,13 @@ func decoderAblation(cfg DecoderStudyConfig, distance int, pauli, erasure float6
 	}
 	var out []DecoderPoint
 	for _, v := range variants {
-		rate, err := logicalRate(ctxOrBackground(cfg.Context), code, v.dec, pauli, erasure, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
+		ctx := ctxOrBackground(cfg.Context)
+		cell := cfg.Progress.StartCell("ablation/decoder/"+v.name, cfg.Trials)
+		if cell != nil {
+			ctx = sim.WithProgress(ctx, cell)
+		}
+		rate, err := logicalRate(ctx, code, v.dec, pauli, erasure, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
+		cell.Finish()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
 		}

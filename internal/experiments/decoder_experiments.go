@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"surfnet/internal/decoder"
+	"surfnet/internal/obs"
 	"surfnet/internal/quantum"
 	"surfnet/internal/rng"
 	"surfnet/internal/sim"
@@ -45,6 +46,9 @@ type Fig8Config struct {
 	// wall-time / syndrome-weight / correction-weight histograms across
 	// the whole study (decoderbench reports its p50/p99 from them).
 	Metrics *telemetry.Registry
+	// Progress, when non-nil, receives one live cell per (decoder,
+	// distance, rate) point for the obs /status endpoint.
+	Progress *obs.Tracker
 }
 
 // DefaultFig8Config returns the paper's Fig. 8 settings with an
@@ -85,7 +89,14 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 				return nil, fmt.Errorf("experiments: building d=%d code: %w", d, err)
 			}
 			for _, p := range cfg.PauliRates {
-				rate, err := logicalRate(ctxOrBackground(cfg.Context), code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
+				ctx := ctxOrBackground(cfg.Context)
+				cell := cfg.Progress.StartCell(
+					fmt.Sprintf("fig8/%s/d%d/p%.3f", dec.Name(), d, p), cfg.Trials)
+				if cell != nil {
+					ctx = sim.WithProgress(ctx, cell)
+				}
+				rate, err := logicalRate(ctx, code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
+				cell.Finish()
 				if err != nil {
 					return nil, err
 				}

@@ -12,6 +12,7 @@ import (
 	"surfnet/internal/core"
 	"surfnet/internal/metrics"
 	"surfnet/internal/network"
+	"surfnet/internal/obs"
 	"surfnet/internal/rng"
 	"surfnet/internal/routing"
 	"surfnet/internal/sim"
@@ -55,6 +56,10 @@ type Config struct {
 	// Tracer, when non-nil, receives every slot-level and routing event
 	// of every trial. Nil disables tracing.
 	Tracer telemetry.Tracer
+	// Progress, when non-nil, receives a live cell per sweep cell and
+	// per-trial completion counts; the obs HTTP server serves it at
+	// /status. Nil disables progress reporting.
+	Progress *obs.Tracker
 }
 
 // DefaultConfig returns interactively sized experiment settings.
@@ -126,7 +131,13 @@ func runCell(cfg Config, spec trialSpec, label string) (Cell, error) {
 		spec.routing.Tracer = cfg.Tracer
 	}
 	root := rng.New(cfg.Seed).Split(label)
-	outcomes, err := sim.Run(cfg.context(), cfg.Trials, cfg.Workers,
+	ctx := cfg.context()
+	if cfg.Progress != nil {
+		cell := cfg.Progress.StartCell(label, cfg.Trials)
+		defer cell.Finish()
+		ctx = sim.WithProgress(ctx, cell)
+	}
+	outcomes, err := sim.Run(ctx, cfg.Trials, cfg.Workers,
 		func(trial int, _ *sim.Worker) (trialOutcome, error) {
 			src := root.SplitN("trial", trial)
 			net, err := topology.Generate(spec.params, src.Split("net"))

@@ -127,7 +127,13 @@ func runResilienceCell(cfg Config, engine core.Config, spec trialSpec, label str
 		spec.routing.Tracer = cfg.Tracer
 	}
 	root := rng.New(cfg.Seed).Split(label)
-	outcomes, err := sim.Run(cfg.context(), cfg.Trials, cfg.Workers,
+	ctx := cfg.context()
+	if cfg.Progress != nil {
+		cell := cfg.Progress.StartCell(label, cfg.Trials)
+		defer cell.Finish()
+		ctx = sim.WithProgress(ctx, cell)
+	}
+	outcomes, err := sim.Run(ctx, cfg.Trials, cfg.Workers,
 		func(trial int, _ *sim.Worker) (resilienceOutcome, error) {
 			src := root.SplitN("trial", trial)
 			net, err := topology.Generate(spec.params, src.Split("net"))

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTrackerAggregatesCells(t *testing.T) {
+	tr := NewTracker()
+	a := tr.StartCell("fig6a/surfnet/greedy", 100)
+	b := tr.StartCell("fig6a/purify/greedy", 50)
+	a.TrialDone(30)
+	a.TrialDone(10)
+	b.TrialDone(50)
+	b.Finish()
+
+	st := tr.Status()
+	if st.CellsStarted != 2 || st.CellsDone != 1 {
+		t.Fatalf("cells started=%d done=%d, want 2/1", st.CellsStarted, st.CellsDone)
+	}
+	if st.TrialsDone != 90 || st.TrialsTotal != 150 {
+		t.Fatalf("trials done=%d total=%d, want 90/150", st.TrialsDone, st.TrialsTotal)
+	}
+	if len(st.Cells) != 2 {
+		t.Fatalf("got %d cell statuses, want 2", len(st.Cells))
+	}
+	if st.Cells[0].Label != "fig6a/surfnet/greedy" || !st.Cells[0].Active {
+		t.Fatalf("first cell %+v, want active fig6a/surfnet/greedy", st.Cells[0])
+	}
+	if st.Cells[1].Active {
+		t.Fatalf("finished cell still active: %+v", st.Cells[1])
+	}
+	if st.TrialsPerSec <= 0 {
+		t.Fatalf("trials/sec = %v, want > 0 after completed trials", st.TrialsPerSec)
+	}
+	if st.ETASeconds <= 0 {
+		t.Fatalf("ETA = %v, want > 0 with 60 trials remaining", st.ETASeconds)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	c := tr.StartCell("x", 10)
+	if c != nil {
+		t.Fatal("nil tracker returned non-nil cell")
+	}
+	c.TrialDone(5)
+	c.Finish()
+	if st := tr.Status(); st.CellsStarted != 0 || st.TrialsDone != 0 {
+		t.Fatalf("nil tracker status %+v, want zero", st)
+	}
+}
+
+func TestCellConcurrentTrialDone(t *testing.T) {
+	tr := NewTracker()
+	c := tr.StartCell("race", 1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 125; i++ {
+				c.TrialDone(1)
+			}
+		}()
+	}
+	// Concurrent Status reads while workers report.
+	for i := 0; i < 50; i++ {
+		_ = tr.Status()
+	}
+	wg.Wait()
+	if st := tr.Status(); st.TrialsDone != 1000 {
+		t.Fatalf("trials done = %d, want 1000", st.TrialsDone)
+	}
+}
+
+func TestTrackerETAZeroWhenComplete(t *testing.T) {
+	tr := NewTracker()
+	c := tr.StartCell("done", 10)
+	c.TrialDone(10)
+	c.Finish()
+	if st := tr.Status(); st.ETASeconds != 0 {
+		t.Fatalf("ETA = %v for a complete sweep, want 0", st.ETASeconds)
+	}
+}

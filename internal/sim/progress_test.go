@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+type countingProgress struct {
+	calls atomic.Int64
+	total atomic.Int64
+}
+
+func (p *countingProgress) TrialDone(n int) {
+	p.calls.Add(1)
+	p.total.Add(int64(n))
+}
+
+// TestRunReportsProgress checks both the serial and pooled paths report every
+// completed trial exactly once.
+func TestRunReportsProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := &countingProgress{}
+		ctx := WithProgress(context.Background(), p)
+		const n = 50
+		if _, err := Run(ctx, n, workers, func(i int, _ *Worker) (int, error) {
+			return i, nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := p.total.Load(); got != n {
+			t.Fatalf("workers=%d: reported %d trials, want %d", workers, got, n)
+		}
+		if got := p.calls.Load(); got != n {
+			t.Fatalf("workers=%d: %d TrialDone calls, want %d", workers, got, n)
+		}
+	}
+}
+
+// TestRunNoProgressAttached checks the no-reporter path stays silent.
+func TestRunNoProgressAttached(t *testing.T) {
+	if _, err := Run(context.Background(), 10, 2, func(i int, _ *Worker) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWithProgressNilDetaches checks a nil reporter detaches a previous one.
+func TestWithProgressNilDetaches(t *testing.T) {
+	p := &countingProgress{}
+	ctx := WithProgress(context.Background(), p)
+	ctx = WithProgress(ctx, nil)
+	if _, err := Run(ctx, 5, 1, func(i int, _ *Worker) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.total.Load() != 0 {
+		t.Fatalf("detached reporter still received %d trials", p.total.Load())
+	}
+}

@@ -70,6 +70,34 @@ func Normalize(workers int) int {
 	return workers
 }
 
+// Progress receives live trial-completion counts from Run. Implementations
+// must be safe for concurrent use: the pool's workers all report into the
+// same reporter. Progress is observation only — it sees completion counts,
+// never results, so it cannot perturb the determinism contract.
+type Progress interface {
+	TrialDone(n int)
+}
+
+type progressKey struct{}
+
+// WithProgress attaches a progress reporter to the context; every Run under
+// that context reports trial completions into it. A nil reporter detaches.
+func WithProgress(ctx context.Context, p Progress) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// progressFrom extracts the reporter attached by WithProgress, or nil.
+func progressFrom(ctx context.Context) Progress {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(progressKey{}).(Progress)
+	return p
+}
+
 // Run executes trials 0..n-1 on a pool of workers and returns their results
 // in trial order. workers <= 0 selects runtime.GOMAXPROCS(0); the pool never
 // exceeds n. The results are identical for every worker count provided the
@@ -94,6 +122,7 @@ func Run[T any](ctx context.Context, n, workers int, trial func(i int, w *Worker
 	if n == 0 {
 		return results, ctx.Err()
 	}
+	progress := progressFrom(ctx)
 
 	if workers == 1 {
 		w := &Worker{id: 0}
@@ -106,6 +135,9 @@ func Run[T any](ctx context.Context, n, workers int, trial func(i int, w *Worker
 				return nil, err
 			}
 			results[i] = v
+			if progress != nil {
+				progress.TrialDone(1)
+			}
 		}
 		return results, nil
 	}
@@ -143,6 +175,9 @@ func Run[T any](ctx context.Context, n, workers int, trial func(i int, w *Worker
 					return
 				}
 				results[i] = v
+				if progress != nil {
+					progress.TrialDone(1)
+				}
 			}
 		}(id)
 	}

@@ -3,6 +3,7 @@ package surfnet
 import (
 	"io"
 
+	"surfnet/internal/obs"
 	"surfnet/internal/telemetry"
 )
 
@@ -31,3 +32,24 @@ type JSONLTracer = telemetry.JSONL
 // NewJSONLTracer returns a buffered tracer writing JSON Lines to w. Call
 // Flush (or Close) after the run to drain the buffer.
 func NewJSONLTracer(w io.Writer) *JSONLTracer { return telemetry.NewJSONL(w) }
+
+// ProgressTracker aggregates live sweep progress; wire one into an
+// experiment config's Progress field and serve it with NewObsServer.
+type ProgressTracker = obs.Tracker
+
+// NewProgressTracker returns an empty progress tracker.
+func NewProgressTracker() *ProgressTracker { return obs.NewTracker() }
+
+// ObsServer is the embedded observability HTTP server: /metrics (Prometheus
+// text format), /healthz, /readyz, /status, and /debug/pprof/.
+type ObsServer = obs.Server
+
+// NewObsServer builds an observability server over a registry and tracker;
+// either may be nil. Call Listen to serve and Shutdown to stop.
+func NewObsServer(reg *Metrics, tracker *ProgressTracker) *ObsServer {
+	return obs.NewServer(reg, tracker)
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format.
+var WritePrometheus = obs.WritePrometheus
