@@ -1,6 +1,10 @@
 GO ?= go
+# Per-benchmark time budget for bench-json; the bench-smoke CI job overrides
+# this with a short value to keep the job fast while exercising the full
+# pipeline.
+BENCHTIME ?= 1s
 
-.PHONY: build test race vet check bench-json obs-smoke
+.PHONY: build test race vet check bench-json bench-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -19,9 +23,16 @@ check: vet race
 
 # Machine-readable benchmark trajectory: run the decoder and sim benchmarks
 # and emit BENCH_decoder.json (ns/op, B/op, allocs/op per benchmark).
+# MWPMDecode covers the dense-vs-scratch sparse decode comparison.
 bench-json:
-	$(GO) test -run '^$$' -bench 'SurfNetDecoder|UnionFindDecoder|MWPMDecoder|DecodeFrameAllocs|RunOverhead' \
-		-benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_decoder.json
+	$(GO) test -run '^$$' -bench 'SurfNetDecoder|UnionFindDecoder|MWPMDecoder|MWPMDecode/|DecodeFrameAllocs|RunOverhead' \
+		-benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_decoder.json
+
+# Fast end-to-end check that the benchmark trajectory stays machine-readable:
+# regenerate BENCH_decoder.json on a tiny benchtime and fail if any expected
+# benchmark family is missing from it.
+bench-smoke:
+	./scripts/bench_smoke.sh
 
 # Launch surfnetsim with the obs server on a tiny figure and curl its
 # endpoints (same script CI runs).

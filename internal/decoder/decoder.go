@@ -166,6 +166,10 @@ func DecodeFrameMetered(c *surfacecode.Code, dec Decoder, frame quantum.Frame, e
 // that do not implement ScratchDecoder fall back to Decode.
 func DecodeFrameWith(c *surfacecode.Code, dec Decoder, frame quantum.Frame, erased []bool, errProb []float64, reg *telemetry.Registry, s *Scratch) (Result, FrameStats, error) {
 	start := time.Now()
+	var mwpmBase mwpmCounters
+	if s != nil && s.mwpm != nil {
+		mwpmBase = s.mwpm.counters
+	}
 	var res Result
 	if s != nil {
 		s.residual = append(s.residual[:0], frame...)
@@ -246,6 +250,14 @@ func DecodeFrameWith(c *surfacecode.Code, dec Decoder, frame quantum.Frame, eras
 		reg.Histogram(prefix+"correction_weight", telemetry.WeightBuckets).Observe(float64(stats.CorrectionWeight))
 		if res.Failed() {
 			reg.Counter(prefix + "logical_failures").Inc()
+		}
+		if s != nil && s.mwpm != nil {
+			if d := s.mwpm.counters.sub(mwpmBase); d.any() {
+				reg.Counter(prefix + "graph_cache_hits").Add(int64(d.graphHits))
+				reg.Counter(prefix + "graph_cache_misses").Add(int64(d.graphMisses))
+				reg.Counter(prefix + "dijkstra_cache_hits").Add(int64(d.spHits))
+				reg.Counter(prefix + "dijkstra_cache_misses").Add(int64(d.spMisses))
+			}
 		}
 	}
 	return res, stats, nil

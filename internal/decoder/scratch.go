@@ -40,6 +40,11 @@ type Scratch struct {
 	zSyn     []int
 	xSyn     []int
 	residual quantum.Frame
+
+	// MWPM decode-path cache (mwpm.go, mwpm_cache.go): the fingerprinted
+	// weighted-graph and Dijkstra-table cache plus the blossom arena.
+	// Created lazily by the first MWPM.DecodeWith on this arena.
+	mwpm *mwpmScratch
 }
 
 // NewScratch returns an empty arena. Buffers are sized lazily by the first

@@ -46,7 +46,7 @@ func TestDecodeFrameWithMatchesAllocatingPath(t *testing.T) {
 		UnionFind{},
 		SurfNet{},
 		SurfNet{FiniteErasureGrowth: true},
-		MWPM{}, // no ScratchDecoder: exercises the fallback
+		MWPM{}, // scratch path must match its private-arena decode exactly
 	}
 	for _, dec := range decoders {
 		t.Run(fmt.Sprintf("%s/finite=%v", dec.Name(), dec), func(t *testing.T) {

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"surfnet/internal/rng"
+)
+
+// randomConnected builds a connected random weighted graph: a spanning path
+// plus extra random chords.
+func randomConnected(src *rng.Source, n, extra int) *Weighted {
+	g := NewWeighted(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(Edge{ID: v - 1, U: v - 1, V: v, Weight: src.Range(0.1, 5)})
+	}
+	for i := 0; i < extra; i++ {
+		u := src.IntN(n)
+		v := src.IntN(n)
+		if u == v {
+			continue
+		}
+		g.AddEdge(Edge{ID: n - 1 + i, U: u, V: v, Weight: src.Range(0.1, 5)})
+	}
+	return g
+}
+
+// TestDijkstraIntoMatchesDijkstra checks that the scratch-backed variant
+// reproduces the allocating one exactly, with both the result struct and the
+// frontier buffer reused across many sources and across graphs of different
+// sizes (shrinking included).
+func TestDijkstraIntoMatchesDijkstra(t *testing.T) {
+	src := rng.New(7)
+	var ds DijkstraScratch
+	sp := &ShortestPaths{}
+	for _, n := range []int{30, 50, 12} {
+		g := randomConnected(src, n, 2*n)
+		for s := 0; s < n; s += 3 {
+			want := g.Dijkstra(s)
+			got := g.DijkstraInto(s, sp, &ds)
+			if got != sp {
+				t.Fatalf("DijkstraInto did not write into the provided struct")
+			}
+			if got.Source != want.Source || len(got.Dist) != len(want.Dist) {
+				t.Fatalf("n=%d s=%d: shape mismatch", n, s)
+			}
+			for v := range want.Dist {
+				if got.Dist[v] != want.Dist[v] {
+					t.Fatalf("n=%d s=%d v=%d: dist %v, want %v", n, s, v, got.Dist[v], want.Dist[v])
+				}
+				if got.PrevEdge[v] != want.PrevEdge[v] {
+					t.Fatalf("n=%d s=%d v=%d: prev %d, want %d", n, s, v, got.PrevEdge[v], want.PrevEdge[v])
+				}
+			}
+		}
+	}
+}
+
+// TestDijkstraIntoUnreachable checks Inf/-1 for disconnected vertices when
+// the reused buffers previously held finite values.
+func TestDijkstraIntoUnreachable(t *testing.T) {
+	g := NewWeighted(4)
+	g.AddEdge(Edge{ID: 0, U: 0, V: 1, Weight: 1})
+	// vertices 2,3 isolated from 0
+	g.AddEdge(Edge{ID: 1, U: 2, V: 3, Weight: 1})
+	var ds DijkstraScratch
+	sp := g.DijkstraInto(2, nil, &ds) // fills with finite values for 2,3
+	sp = g.DijkstraInto(0, sp, &ds)
+	if !math.IsInf(sp.Dist[2], 1) || !math.IsInf(sp.Dist[3], 1) {
+		t.Fatalf("stale distances leaked into unreachable vertices: %v", sp.Dist)
+	}
+	if sp.PrevEdge[2] != -1 || sp.PrevEdge[3] != -1 {
+		t.Fatalf("stale prev edges leaked: %v", sp.PrevEdge)
+	}
+}
+
+// BenchmarkDijkstraInto measures the steady-state cost of the reused path
+// against fresh allocation.
+func BenchmarkDijkstraInto(b *testing.B) {
+	src := rng.New(3)
+	g := randomConnected(src, 200, 600)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Dijkstra(i % 200)
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		var ds DijkstraScratch
+		sp := &ShortestPaths{}
+		for i := 0; i < b.N; i++ {
+			g.DijkstraInto(i%200, sp, &ds)
+		}
+	})
+}

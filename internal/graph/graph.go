@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -83,18 +82,45 @@ type pqItem struct {
 	dist float64
 }
 
+// pq is a binary min-heap on dist, manipulated by pqPush/pqPop directly so
+// frontier operations never box items through an interface.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
+func pqPush(q pq, it pqItem) pq {
+	q = append(q, it)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p].dist <= q[i].dist {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+	return q
+}
+
+func pqPop(q pq) (pqItem, pq) {
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && q[l].dist < q[m].dist {
+			m = l
+		}
+		if r < n && q[r].dist < q[m].dist {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top, q
 }
 
 // ShortestPaths holds single-source Dijkstra results: Dist[v] is the minimum
@@ -106,21 +132,48 @@ type ShortestPaths struct {
 	PrevEdge []int32
 }
 
+// DijkstraScratch is a reusable frontier buffer for DijkstraInto, so repeated
+// single-source computations (the MWPM decode cache refreshing per-syndrome
+// tables) allocate nothing in steady state. The zero value is ready to use.
+type DijkstraScratch struct {
+	q pq
+}
+
 // Dijkstra computes shortest paths from src over non-negative edge weights.
 func (g *Weighted) Dijkstra(src int) *ShortestPaths {
-	sp := &ShortestPaths{
-		Source:   src,
-		Dist:     make([]float64, g.n),
-		PrevEdge: make([]int32, g.n),
+	return g.DijkstraInto(src, nil, nil)
+}
+
+// DijkstraInto is Dijkstra with caller-owned storage: the result is written
+// into sp (reusing its Dist/PrevEdge capacity) and the frontier heap lives in
+// ds. A nil sp or ds allocates fresh, so DijkstraInto(src, nil, nil) is
+// exactly Dijkstra(src).
+func (g *Weighted) DijkstraInto(src int, sp *ShortestPaths, ds *DijkstraScratch) *ShortestPaths {
+	if sp == nil {
+		sp = &ShortestPaths{}
 	}
+	sp.Source = src
+	if cap(sp.Dist) < g.n {
+		sp.Dist = make([]float64, g.n)
+	}
+	sp.Dist = sp.Dist[:g.n]
+	if cap(sp.PrevEdge) < g.n {
+		sp.PrevEdge = make([]int32, g.n)
+	}
+	sp.PrevEdge = sp.PrevEdge[:g.n]
 	for i := range sp.Dist {
 		sp.Dist[i] = math.Inf(1)
 		sp.PrevEdge[i] = -1
 	}
 	sp.Dist[src] = 0
-	q := pq{{v: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
+	var q pq
+	if ds != nil {
+		q = ds.q[:0]
+	}
+	q = append(q, pqItem{v: src, dist: 0})
+	for len(q) > 0 {
+		var it pqItem
+		it, q = pqPop(q)
 		if it.dist > sp.Dist[it.v] {
 			continue // stale entry
 		}
@@ -134,9 +187,12 @@ func (g *Weighted) Dijkstra(src int) *ShortestPaths {
 			if w < sp.Dist[u] {
 				sp.Dist[u] = w
 				sp.PrevEdge[u] = ei
-				heap.Push(&q, pqItem{v: u, dist: w})
+				q = pqPush(q, pqItem{v: u, dist: w})
 			}
 		}
+	}
+	if ds != nil {
+		ds.q = q // keep the grown heap capacity for the next call
 	}
 	return sp
 }

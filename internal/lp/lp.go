@@ -161,9 +161,27 @@ var (
 	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
 )
 
+// Simplex tolerances. The three numeric thresholds form one documented
+// scheme instead of ad-hoc magic numbers at each comparison site:
+//
+//   - pivotEps classifies tableau entries and ratio-test steps as numerically
+//     zero. It bounds accumulated elimination roundoff, which is independent
+//     of problem magnitude, so it is absolute.
+//   - enterEps is the reduced-cost threshold for entering columns — two
+//     decades above pivotEps so elimination noise in the objective row can
+//     never be mistaken for an improving direction.
+//   - feasRelTol is the phase-1 feasibility test, *relative* to the problem's
+//     right-hand-side magnitude: phase 1 declares infeasibility when the
+//     residual artificial mass exceeds feasRelTol * max(1, max|RHS|).
+//     An absolute cutoff here disagrees with the other two scales on badly
+//     scaled instances — a constraint system with RHS values around 1e-7
+//     can be genuinely infeasible by several times its own magnitude while
+//     the residual stays under any fixed cutoff (see
+//     TestPhase1FeasibilityScale).
 const (
-	eps          = 1e-9
-	enterEps     = 1e-7 // reduced-cost threshold for entering columns
+	pivotEps     = 1e-9
+	enterEps     = 1e-7
+	feasRelTol   = 1e-7
 	blandTrigger = 1500 // degenerate pivots before switching to Bland's rule
 	refreshEvery = 256  // pivots between exact reduced-cost recomputations
 )
@@ -200,9 +218,14 @@ func (p *Problem) Solve() (Solution, error) {
 		}
 		rows[i] = r
 	}
-	// Count slack and artificial columns.
+	// Count slack and artificial columns, and record the feasibility scale
+	// (rows are normalized to rhs >= 0 above).
 	nSlack, nArt := 0, 0
+	feasScale := 1.0
 	for _, r := range rows {
+		if r.rhs > feasScale {
+			feasScale = r.rhs
+		}
 		switch r.sense {
 		case LessEq:
 			nSlack++
@@ -252,7 +275,7 @@ func (p *Problem) Solve() (Solution, error) {
 		if err != nil {
 			return Solution{}, fmt.Errorf("phase 1: %w", err)
 		}
-		if val < -1e-6 {
+		if val < -feasRelTol*feasScale {
 			s.stats.Phase1Pivots = s.stats.Pivots
 			return Solution{Status: Infeasible, Stats: s.stats}, nil
 		}
@@ -264,7 +287,7 @@ func (p *Problem) Solve() (Solution, error) {
 			}
 			pivoted := false
 			for j := 0; j < artStart; j++ {
-				if math.Abs(s.t[i][j]) > eps {
+				if math.Abs(s.t[i][j]) > pivotEps {
 					s.pivot(i, j)
 					pivoted = true
 					break
@@ -404,12 +427,12 @@ func (s *simplex) optimize(obj []float64, colLimit int) (float64, error) {
 		bestRatio := math.Inf(1)
 		for i := 0; i < m; i++ {
 			a := s.t[i][col]
-			if a <= eps {
+			if a <= pivotEps {
 				continue
 			}
 			ratio := s.t[i][total] / a
-			if ratio < bestRatio-eps ||
-				(ratio < bestRatio+eps && (row < 0 || s.basis[i] < s.basis[row])) {
+			if ratio < bestRatio-pivotEps ||
+				(ratio < bestRatio+pivotEps && (row < 0 || s.basis[i] < s.basis[row])) {
 				bestRatio = ratio
 				row = i
 			}
@@ -417,7 +440,7 @@ func (s *simplex) optimize(obj []float64, colLimit int) (float64, error) {
 		if row < 0 {
 			return 0, errUnbounded
 		}
-		if bestRatio < eps {
+		if bestRatio < pivotEps {
 			degenerate++
 			s.stats.DegeneratePivots++
 		} else {

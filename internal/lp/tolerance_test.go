@@ -1,0 +1,59 @@
+package lp
+
+import (
+	"testing"
+)
+
+// TestPhase1FeasibilityScale is the regression test for the unified
+// tolerance scheme: an ill-conditioned instance whose entire geometry lives
+// around 1e-7. The constraint pair x <= 1e-7, x >= 6e-7 is infeasible by
+// five times its own magnitude, but the phase-1 artificial residual (5e-7)
+// stayed under the old absolute -1e-6 cutoff, so the mixed scales disagreed:
+// entering columns were judged at 1e-7 while feasibility was judged at 1e-6,
+// and the solver declared the system feasible. The RHS-scaled test
+// (feasRelTol * max(1, max|RHS|) = 1e-7 here) classifies it correctly.
+func TestPhase1FeasibilityScale(t *testing.T) {
+	p := NewMaximize(1)
+	p.SetObjective(0, 1)
+	mustAdd(t, p, Constraint{Terms: []Term{{0, 1}}, Sense: LessEq, RHS: 1e-7})
+	mustAdd(t, p, Constraint{Terms: []Term{{0, 1}}, Sense: GreaterEq, RHS: 6e-7})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v (objective %v), want infeasible", sol.Status, sol.Objective)
+	}
+}
+
+// TestPhase1FeasibilityScaleLarge checks the other direction of the relative
+// test: on a large-magnitude instance, a genuinely feasible system with an
+// equality constraint in the 1e6 range must not be rejected by a tolerance
+// that fails to scale up (phase-1 elimination residue grows with the RHS).
+func TestPhase1FeasibilityScaleLarge(t *testing.T) {
+	p := NewMinimize(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	mustAdd(t, p, Constraint{Terms: []Term{{0, 1}, {1, 1}}, Sense: Equal, RHS: 3.7e6})
+	mustAdd(t, p, Constraint{Terms: []Term{{0, 1}}, Sense: LessEq, RHS: 2.9e6})
+	sol := solveOK(t, p)
+	if got, want := sol.Objective, 3.7e6; got < want*(1-1e-9) || got > want*(1+1e-9) {
+		t.Fatalf("objective = %v, want %v", got, want)
+	}
+}
+
+// TestBoundaryFeasibleNearTolerance pins a system feasible exactly at its
+// bound: x <= a, x >= a must stay Feasible for small a (no artificial mass
+// remains, whatever the scale).
+func TestBoundaryFeasibleNearTolerance(t *testing.T) {
+	for _, a := range []float64{1e-7, 1e-3, 1, 1e5} {
+		p := NewMaximize(1)
+		p.SetObjective(0, 1)
+		mustAdd(t, p, Constraint{Terms: []Term{{0, 1}}, Sense: LessEq, RHS: a})
+		mustAdd(t, p, Constraint{Terms: []Term{{0, 1}}, Sense: GreaterEq, RHS: a})
+		sol := solveOK(t, p)
+		if diff := sol.Objective - a; diff > 1e-9*a || diff < -1e-9*a {
+			t.Fatalf("a=%v: objective %v", a, sol.Objective)
+		}
+	}
+}

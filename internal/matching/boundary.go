@@ -1,0 +1,194 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arena is a reusable blossom workspace: the solver's dense state (the
+// O(n^2) weight matrix, blossom bookkeeping, and the result slice) is kept
+// across calls and only reallocated when a larger instance arrives. The MWPM
+// decoder holds one Arena per decode scratch so steady-state matching
+// allocates nothing.
+//
+// An Arena is owned by one goroutine at a time. The mate slice returned by
+// its methods aliases the arena and is valid until the next call.
+type Arena struct {
+	s    *solver
+	cap  int
+	mate []int
+	pair []float64 // q x q explicit-edge weights, +Inf = absent
+}
+
+// NewArena returns an empty workspace; buffers are sized by the first call.
+func NewArena() *Arena { return &Arena{} }
+
+// solverFor returns the arena's solver prepared for an n-vertex instance,
+// allocating only when n exceeds every previous instance.
+func (a *Arena) solverFor(n int) *solver {
+	if a.s == nil || n > a.cap {
+		a.s = newSolver(n)
+		a.cap = n
+		return a.s
+	}
+	a.s.reset(n)
+	return a.s
+}
+
+// MinWeightPerfectBoundary computes a minimum-weight matching of q vertices
+// where every vertex must either pair with another vertex or retire to a
+// boundary at its own cost: vertex i pairs with j at the lighter of an
+// explicit edge weight and boundary[i]+boundary[j], and — when q is odd —
+// one vertex retires alone at boundary[i]. This is exactly the classic
+// virtual-twin construction for surface-code boundary matching (every vertex
+// gets a zero-weight-clique twin bought at its boundary cost), encoded
+// structurally instead of materializing q twins and q(q-1)/2 clique edges:
+// the solver runs on q (+1 when odd) vertices instead of 2q.
+//
+// Equivalence to the twin construction: a twin-world perfect matching pairs
+// some vertices directly and sends a set B (|B| ≡ q mod 2) to their twins at
+// cost sum(boundary[b]); leftover twins pair freely at zero. Pairing the
+// members of B among themselves here costs the same sum, and conversely any
+// matching here expands to a twin-world matching of equal weight, so the
+// optima coincide.
+//
+// mate[i] is the matched partner of i, or -1 when i retires to the boundary.
+// A boundary cost of +Inf removes the boundary option for that vertex.
+// Explicit edges must satisfy the MinWeightPerfect contract (non-negative,
+// +Inf = absent, parallel edges keep the lightest). On an exact tie between
+// an explicit edge and the boundary sum, the explicit edge wins.
+func (a *Arena) MinWeightPerfectBoundary(q int, edges []Edge, boundary []float64) (mate []int, total float64, err error) {
+	if len(boundary) != q {
+		return nil, 0, fmt.Errorf("matching: %d boundary costs for %d vertices", len(boundary), q)
+	}
+	for i, b := range boundary {
+		if math.IsNaN(b) || b < 0 {
+			return nil, 0, fmt.Errorf("matching: invalid boundary cost %v at vertex %d", b, i)
+		}
+	}
+	if cap(a.mate) < q {
+		a.mate = make([]int, q)
+	}
+	mate = a.mate[:q]
+	if q == 0 {
+		return mate, 0, nil
+	}
+	// Dense explicit-edge table (lightest parallel edge wins).
+	if cap(a.pair) < q*q {
+		a.pair = make([]float64, q*q)
+	}
+	pair := a.pair[:q*q]
+	for i := range pair {
+		pair[i] = math.Inf(1)
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.U >= q || e.V < 0 || e.V >= q {
+			return nil, 0, fmt.Errorf("matching: edge (%d,%d) out of range [0,%d)", e.U, e.V, q)
+		}
+		if e.U == e.V {
+			return nil, 0, fmt.Errorf("matching: self-loop at %d", e.U)
+		}
+		if math.IsNaN(e.Weight) || e.Weight < 0 {
+			return nil, 0, fmt.Errorf("matching: invalid weight %v on edge (%d,%d)", e.Weight, e.U, e.V)
+		}
+		if e.Weight < pair[e.U*q+e.V] {
+			pair[e.U*q+e.V] = e.Weight
+			pair[e.V*q+e.U] = e.Weight
+		}
+	}
+	// Effective pair weight: explicit edge vs both-to-boundary.
+	weight := func(i, j int) float64 {
+		w := pair[i*q+j]
+		if s := boundary[i] + boundary[j]; s < w {
+			w = s
+		}
+		return w
+	}
+	nn := q
+	if q%2 == 1 {
+		nn++ // parity vertex: one syndrome retires alone to the boundary
+	}
+	maxW := 0.0
+	for i := 0; i < q; i++ {
+		for j := i + 1; j < q; j++ {
+			if w := weight(i, j); !math.IsInf(w, 1) && w > maxW {
+				maxW = w
+			}
+		}
+		if nn > q && !math.IsInf(boundary[i], 1) && boundary[i] > maxW {
+			maxW = boundary[i]
+		}
+	}
+	s := a.solverFor(nn)
+	unit := int64(1)
+	if maxW > 0 {
+		unit = int64(maxW*scale) + 1
+	}
+	bigC := unit*int64(nn/2) + 1
+	add := func(u, v int, w float64) {
+		if math.IsInf(w, 1) {
+			return
+		}
+		iw := bigC - int64(w*scale)
+		s.g[u+1][v+1] = wedge{u: u + 1, v: v + 1, w: iw}
+		s.g[v+1][u+1] = wedge{u: v + 1, v: u + 1, w: iw}
+	}
+	for i := 0; i < q; i++ {
+		for j := i + 1; j < q; j++ {
+			add(i, j, weight(i, j))
+		}
+		if nn > q {
+			add(i, q, boundary[i])
+		}
+	}
+	s.run()
+	for v := 1; v <= nn; v++ {
+		if s.match[v] == 0 {
+			return nil, 0, ErrNoPerfectMatching
+		}
+	}
+	for i := 0; i < q; i++ {
+		m := s.match[i+1] - 1
+		switch {
+		case m == q: // parity vertex: retire to the boundary
+			mate[i] = -1
+			total += boundary[i]
+		case pair[i*q+m] <= boundary[i]+boundary[m]: // explicit edge (ties included)
+			mate[i] = m
+			if m > i {
+				total += pair[i*q+m]
+			}
+		default: // both endpoints retire to the boundary
+			mate[i] = -1
+			total += boundary[i]
+		}
+	}
+	return mate, total, nil
+}
+
+// reset clears the solver for reuse on an n-vertex instance (n no larger
+// than the instance it was allocated for). The full capacity region is
+// cleared so no weights or matches leak from a previous, larger problem.
+func (s *solver) reset(n int) {
+	size := len(s.g)
+	for i := 0; i < size; i++ {
+		row := s.g[i]
+		for j := range row {
+			row[j].w = 0
+		}
+		s.match[i] = 0
+		s.st[i] = 0
+		s.lab[i] = 0
+		s.pa[i] = 0
+		s.side[i] = 0
+		s.slack[i] = 0
+		s.flower[i] = s.flower[i][:0]
+		ff := s.flowerFrom[i]
+		for j := range ff {
+			ff[j] = 0
+		}
+	}
+	s.n, s.nx = n, n
+	// vis/visToken survive: tokens are strictly increasing, so stale vis
+	// entries can never equal a future token.
+}

@@ -1,0 +1,222 @@
+package matching
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"surfnet/internal/rng"
+)
+
+// twinReference solves the same boundary-matching problem with the classic
+// construction: q syndromes plus q twins, twin i attached at boundary[i],
+// twins forming a zero-weight clique. Used as the oracle for
+// MinWeightPerfectBoundary.
+func twinReference(q int, edges []Edge, boundary []float64) (total float64, err error) {
+	all := make([]Edge, 0, len(edges)+q+q*(q-1)/2)
+	all = append(all, edges...)
+	for i := 0; i < q; i++ {
+		all = append(all, Edge{U: i, V: q + i, Weight: boundary[i]})
+		for j := i + 1; j < q; j++ {
+			all = append(all, Edge{U: q + i, V: q + j, Weight: 0})
+		}
+	}
+	_, total, err = MinWeightPerfect(2*q, all)
+	return total, err
+}
+
+// randomInstance draws a boundary-matching instance with continuous random
+// weights (ties have probability zero).
+func randomInstance(src *rng.Source, q int) (edges []Edge, boundary []float64) {
+	boundary = make([]float64, q)
+	for i := range boundary {
+		boundary[i] = src.Range(0.5, 10)
+	}
+	for i := 0; i < q; i++ {
+		for j := i + 1; j < q; j++ {
+			if src.Bool(0.7) {
+				edges = append(edges, Edge{U: i, V: j, Weight: src.Range(0.1, 12)})
+			}
+		}
+	}
+	return edges, boundary
+}
+
+// TestBoundaryMatchesTwinConstruction checks, across random instances of odd
+// and even size, that the structural boundary encoding achieves exactly the
+// twin-construction optimum and that the reported total is consistent with
+// the returned mate assignment.
+func TestBoundaryMatchesTwinConstruction(t *testing.T) {
+	src := rng.New(42)
+	a := NewArena()
+	for trial := 0; trial < 120; trial++ {
+		q := 1 + src.IntN(12)
+		edges, boundary := randomInstance(src.SplitN("inst", trial), q)
+		mate, total, err := a.MinWeightPerfectBoundary(q, edges, boundary)
+		if err != nil {
+			t.Fatalf("trial %d (q=%d): %v", trial, q, err)
+		}
+		want, err := twinReference(q, edges, boundary)
+		if err != nil {
+			t.Fatalf("trial %d reference: %v", trial, err)
+		}
+		// Integer scaling rounds at 1e-9 per edge.
+		if math.Abs(total-want) > 1e-6 {
+			t.Fatalf("trial %d (q=%d): total %v, twin construction %v", trial, q, total, want)
+		}
+		// mate must be a valid involution and its cost must equal total.
+		check := 0.0
+		for i, m := range mate {
+			switch {
+			case m == -1:
+				check += boundary[i]
+			case m < -1 || m >= q || m == i:
+				t.Fatalf("trial %d: invalid mate[%d]=%d", trial, i, m)
+			case mate[m] != i:
+				t.Fatalf("trial %d: mate not symmetric at %d<->%d", trial, i, m)
+			case m > i:
+				w := math.Inf(1)
+				for _, e := range edges {
+					if (e.U == i && e.V == m) || (e.U == m && e.V == i) {
+						w = math.Min(w, e.Weight)
+					}
+				}
+				check += w
+			}
+		}
+		if math.Abs(check-total) > 1e-6 {
+			t.Fatalf("trial %d: mate cost %v, reported total %v", trial, check, total)
+		}
+	}
+}
+
+// TestBoundaryArenaReuseIsDeterministic re-solves the same instances on one
+// arena interleaved with different-sized ones; reuse must never change a
+// result.
+func TestBoundaryArenaReuseIsDeterministic(t *testing.T) {
+	src := rng.New(5)
+	type inst struct {
+		q        int
+		edges    []Edge
+		boundary []float64
+		total    float64
+		mate     []int
+	}
+	var insts []inst
+	fresh := NewArena()
+	for trial := 0; trial < 20; trial++ {
+		q := 1 + src.IntN(10)
+		e, b := randomInstance(src.SplitN("inst", trial), q)
+		mate, total, err := fresh.MinWeightPerfectBoundary(q, e, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst{q, e, b, total, append([]int(nil), mate...)})
+	}
+	a := NewArena()
+	for round := 0; round < 3; round++ {
+		for k, in := range insts {
+			mate, total, err := a.MinWeightPerfectBoundary(in.q, in.edges, in.boundary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != in.total {
+				t.Fatalf("round %d inst %d: total %v, want %v", round, k, total, in.total)
+			}
+			for i := range mate {
+				if mate[i] != in.mate[i] {
+					t.Fatalf("round %d inst %d: mate[%d]=%d, want %d", round, k, i, mate[i], in.mate[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBoundaryEdgeCases pins the degenerate and error paths.
+func TestBoundaryEdgeCases(t *testing.T) {
+	a := NewArena()
+	if mate, total, err := a.MinWeightPerfectBoundary(0, nil, nil); err != nil || total != 0 || len(mate) != 0 {
+		t.Fatalf("q=0: mate=%v total=%v err=%v", mate, total, err)
+	}
+	mate, total, err := a.MinWeightPerfectBoundary(1, nil, []float64{2.5})
+	if err != nil || mate[0] != -1 || total != 2.5 {
+		t.Fatalf("q=1: mate=%v total=%v err=%v", mate, total, err)
+	}
+	// Odd q with no boundary routes has no perfect matching.
+	inf := math.Inf(1)
+	if _, _, err := a.MinWeightPerfectBoundary(1, nil, []float64{inf}); !errors.Is(err, ErrNoPerfectMatching) {
+		t.Fatalf("q=1 Inf boundary: err=%v, want ErrNoPerfectMatching", err)
+	}
+	// Inf boundary removes only the boundary option: a pair edge still works.
+	mate, total, err = a.MinWeightPerfectBoundary(2, []Edge{{U: 0, V: 1, Weight: 3}}, []float64{inf, inf})
+	if err != nil || mate[0] != 1 || mate[1] != 0 || math.Abs(total-3) > 1e-9 {
+		t.Fatalf("pair under Inf boundary: mate=%v total=%v err=%v", mate, total, err)
+	}
+	// Tie between explicit edge and boundary sum keeps the explicit edge.
+	mate, _, err = a.MinWeightPerfectBoundary(2, []Edge{{U: 0, V: 1, Weight: 4}}, []float64{2, 2})
+	if err != nil || mate[0] != 1 || mate[1] != 0 {
+		t.Fatalf("tie: mate=%v err=%v, want explicit pair", mate, err)
+	}
+	// Validation errors.
+	if _, _, err := a.MinWeightPerfectBoundary(2, nil, []float64{1}); err == nil {
+		t.Fatal("boundary length mismatch accepted")
+	}
+	if _, _, err := a.MinWeightPerfectBoundary(1, nil, []float64{-1}); err == nil {
+		t.Fatal("negative boundary accepted")
+	}
+	if _, _, err := a.MinWeightPerfectBoundary(2, []Edge{{U: 0, V: 2, Weight: 1}}, []float64{1, 1}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, _, err := a.MinWeightPerfectBoundary(2, []Edge{{U: 0, V: 0, Weight: 1}}, []float64{1, 1}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, _, err := a.MinWeightPerfectBoundary(2, []Edge{{U: 0, V: 1, Weight: -2}}, []float64{1, 1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// TestBoundaryPrefersCheaperOption checks both decision directions on a
+// hand-built instance: one pair where the direct edge wins, one where the
+// double-boundary route wins.
+func TestBoundaryPrefersCheaperOption(t *testing.T) {
+	a := NewArena()
+	// Pair (0,1): edge 1 vs boundary 5+5 -> edge. Pair (2,3): edge 9 vs
+	// boundary 1+1 -> boundary.
+	edges := []Edge{{U: 0, V: 1, Weight: 1}, {U: 2, V: 3, Weight: 9}}
+	boundary := []float64{5, 5, 1, 1}
+	mate, total, err := a.MinWeightPerfectBoundary(4, edges, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mate[0] != 1 || mate[1] != 0 || mate[2] != -1 || mate[3] != -1 {
+		t.Fatalf("mate=%v, want [1 0 -1 -1]", mate)
+	}
+	if math.Abs(total-3) > 1e-9 {
+		t.Fatalf("total=%v, want 3", total)
+	}
+}
+
+// BenchmarkBlossomBoundary compares the structural boundary solve against
+// the twin-clique construction it replaces.
+func BenchmarkBlossomBoundary(b *testing.B) {
+	src := rng.New(9)
+	const q = 24
+	edges, boundary := randomInstance(src, q)
+	b.Run("twin-dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := twinReference(q, edges, boundary); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("structural-arena", func(b *testing.B) {
+		b.ReportAllocs()
+		a := NewArena()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := a.MinWeightPerfectBoundary(q, edges, boundary); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

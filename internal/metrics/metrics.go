@@ -35,11 +35,22 @@ func (s *Summary) N() int { return s.n }
 // Mean reports the sample mean (0 when empty).
 func (s *Summary) Mean() float64 { return s.mean }
 
-// Min reports the smallest observation (0 when empty).
-func (s *Summary) Min() float64 { return s.min }
+// Min reports the smallest observation. An empty summary reports NaN, so
+// "no observations" can never be confused with a real 0.0 extreme.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
 
-// Max reports the largest observation (0 when empty).
-func (s *Summary) Max() float64 { return s.max }
+// Max reports the largest observation (NaN when empty, like Min).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
 
 // Variance reports the unbiased sample variance (0 for fewer than two
 // observations).

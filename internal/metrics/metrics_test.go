@@ -81,8 +81,9 @@ func TestMergeEmptyCases(t *testing.T) {
 
 func TestMinMax(t *testing.T) {
 	var s Summary
-	if s.Min() != 0 || s.Max() != 0 {
-		t.Fatal("empty summary: min/max should be 0")
+	// An empty summary must be distinguishable from one that observed 0.0.
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("empty summary: min %v max %v, want NaN/NaN", s.Min(), s.Max())
 	}
 	s.Add(-3)
 	if s.Min() != -3 || s.Max() != -3 {
@@ -131,6 +132,12 @@ func TestMergeMinMax(t *testing.T) {
 	a.Merge(d)
 	if a.Min() != 1 || a.Max() != 9 {
 		t.Fatalf("merge of empty changed extremes: min %v max %v", a.Min(), a.Max())
+	}
+	// Merging two empties stays empty: still NaN extremes, zero count.
+	var e, f Summary
+	e.Merge(f)
+	if e.N() != 0 || !math.IsNaN(e.Min()) || !math.IsNaN(e.Max()) {
+		t.Fatalf("empty+empty: n=%d min %v max %v, want 0/NaN/NaN", e.N(), e.Min(), e.Max())
 	}
 }
 

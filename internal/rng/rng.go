@@ -40,11 +40,22 @@ func (s *Source) Split(label string) *Source {
 }
 
 // SplitN derives the n-th child of a labeled family, e.g. one stream per
-// trial index.
+// trial index. The index is hashed together with the label rather than
+// xor-folded afterwards: the previous seed ^ hash ^ (n+1)*c construction was
+// affine in (seed, label-hash, n), so two different (label, n) pairs — or the
+// same pair under two related parent seeds — could collide or correlate
+// exactly whenever their xor-differences cancelled. Feeding n's bytes through
+// the FNV permutation destroys that algebraic structure.
 func (s *Source) SplitN(label string, n int) *Source {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(label))
-	return New(mix(s.seed ^ h.Sum64() ^ (uint64(n)+1)*0x9e3779b97f4a7c15))
+	var idx [8]byte
+	u := uint64(n)
+	for i := range idx {
+		idx[i] = byte(u >> (8 * i))
+	}
+	_, _ = h.Write(idx[:])
+	return New(mix(s.seed ^ h.Sum64()))
 }
 
 // Seed reports the seed this Source was rooted at.

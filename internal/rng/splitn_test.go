@@ -1,0 +1,78 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestSplitNCrossFamilyCollisions enumerates a dense grid of (label, n)
+// children under several parent seeds and requires every derived stream seed
+// to be unique — including against plain Split children of the same parents.
+func TestSplitNCrossFamilyCollisions(t *testing.T) {
+	labels := []string{"t", "trial", "sample", "p", "run", "fig8"}
+	parents := []uint64{0, 1, 42, 0xdeadbeef, math.MaxUint64}
+	seen := make(map[uint64]string)
+	record := func(seed uint64, what string) {
+		if prev, ok := seen[seed]; ok {
+			t.Fatalf("stream seed collision: %s and %s both derive %#x", prev, what, seed)
+		}
+		seen[seed] = what
+	}
+	for _, ps := range parents {
+		p := New(ps)
+		for _, l := range labels {
+			record(p.Split(l).Seed(), fmt.Sprintf("Split(%d,%q)", ps, l))
+			for n := 0; n < 400; n++ {
+				record(p.SplitN(l, n).Seed(), fmt.Sprintf("SplitN(%d,%q,%d)", ps, l, n))
+			}
+		}
+	}
+}
+
+// TestSplitNNoAffineAliasing is the regression test for the xor-with-multiple
+// weakness: under the old seed ^ hash ^ (n+1)*c construction, two parents
+// whose seeds differ by (n1+1)*c ^ (n2+1)*c produced byte-identical streams
+// for SplitN(label, n1) and SplitN(label, n2). Routing n through the hash
+// must break that algebraic alias.
+func TestSplitNNoAffineAliasing(t *testing.T) {
+	const c = 0x9e3779b97f4a7c15
+	for _, pair := range [][2]int{{3, 7}, {0, 1}, {10, 200}, {5, 5_000_000}} {
+		n1, n2 := pair[0], pair[1]
+		delta := (uint64(n1)+1)*c ^ (uint64(n2)+1)*c
+		s1 := New(123)
+		s2 := New(123 ^ delta)
+		a := s1.SplitN("t", n1)
+		b := s2.SplitN("t", n2)
+		if a.Seed() == b.Seed() {
+			t.Fatalf("n1=%d n2=%d: affine alias survived (seed %#x)", n1, n2, a.Seed())
+		}
+		if a.Uint64() == b.Uint64() {
+			t.Fatalf("n1=%d n2=%d: aliased streams emit identical first values", n1, n2)
+		}
+	}
+}
+
+// TestSplitNPairwiseDecorrelation checks that adjacent-index children look
+// statistically independent: across many (n, n+1) pairs, the first draws of
+// the two streams agree on each bit about half the time.
+func TestSplitNPairwiseDecorrelation(t *testing.T) {
+	p := New(777)
+	const pairs = 4000
+	var bitAgree [64]int
+	for n := 0; n < pairs; n++ {
+		a := p.SplitN("trial", n).Uint64()
+		b := p.SplitN("trial", n+1).Uint64()
+		same := ^(a ^ b)
+		for bit := 0; bit < 64; bit++ {
+			bitAgree[bit] += int((same >> bit) & 1)
+		}
+	}
+	// Binomial(4000, 0.5): sd ~= 31.6; allow 6 sigma.
+	lo, hi := pairs/2-190, pairs/2+190
+	for bit, agree := range bitAgree {
+		if agree < lo || agree > hi {
+			t.Fatalf("bit %d: adjacent streams agree %d/%d times", bit, agree, pairs)
+		}
+	}
+}

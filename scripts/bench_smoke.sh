@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Smoke-test the benchmark trajectory pipeline: regenerate BENCH_decoder.json
+# through `make bench-json` on a very short benchtime, then assert every
+# expected benchmark family is present so perf history stays machine-readable.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# Run against a scratch copy so a smoke run never clobbers the committed
+# full-benchtime trajectory.
+out="$workdir/BENCH_decoder.json"
+make bench-json BENCHTIME=10x >/dev/null
+mv BENCH_decoder.json "$out"
+git checkout -- BENCH_decoder.json 2>/dev/null || true
+
+python3 - "$out" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+names = [b["name"] for b in report["benchmarks"]]
+expected = [
+    "BenchmarkSurfNetDecoder/",
+    "BenchmarkUnionFindDecoder/",
+    "BenchmarkMWPMDecoder/",
+    "BenchmarkMWPMDecode/d=5/dense",
+    "BenchmarkMWPMDecode/d=5/scratch",
+    "BenchmarkDecodeFrameAllocs/",
+    "BenchmarkRunOverhead/",
+]
+missing = [e for e in expected if not any(n.startswith(e) for n in names)]
+if missing:
+    sys.exit(f"BENCH_decoder.json is missing benchmark families: {missing}\npresent: {names}")
+for b in report["benchmarks"]:
+    if b["ns_per_op"] <= 0:
+        sys.exit(f"suspicious ns_per_op in {b['name']}: {b['ns_per_op']}")
+print(f"bench smoke OK: {len(names)} benchmarks, all expected families present")
+EOF
