@@ -4,7 +4,7 @@ GO ?= go
 # pipeline.
 BENCHTIME ?= 1s
 
-.PHONY: build test race vet check bench-json bench-smoke obs-smoke
+.PHONY: build test race vet check bench-json bench-smoke bench-diff obs-smoke
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,10 @@ check: vet race
 
 # Machine-readable benchmark trajectory: run the decoder and sim benchmarks
 # and emit BENCH_decoder.json (ns/op, B/op, allocs/op per benchmark).
-# MWPMDecode covers the dense-vs-scratch sparse decode comparison.
+# MWPMDecode covers the dense-vs-scratch sparse decode comparison;
+# DecodeWallLatency adds the wall-latency percentile families (p50/p99/p999).
 bench-json:
-	$(GO) test -run '^$$' -bench 'SurfNetDecoder|UnionFindDecoder|MWPMDecoder|MWPMDecode/|DecodeFrameAllocs|RunOverhead' \
+	$(GO) test -run '^$$' -bench 'SurfNetDecoder|UnionFindDecoder|MWPMDecoder|MWPMDecode/|DecodeFrameAllocs|RunOverhead|DecodeWallLatency' \
 		-benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_decoder.json
 
 # Fast end-to-end check that the benchmark trajectory stays machine-readable:
@@ -33,6 +34,14 @@ bench-json:
 # benchmark family is missing from it.
 bench-smoke:
 	./scripts/bench_smoke.sh
+
+# Perf-regression ledger gate: regenerate the benchmark snapshot and diff it
+# against the committed BENCH_decoder.json with cmd/benchdiff. Tolerances are
+# tunable (BENCHDIFF_TOL for ns/op, BENCHDIFF_BYTES_TOL, BENCHDIFF_ALLOC_TOL)
+# — CI widens the ns/op band because its hardware differs from the machine
+# that wrote the committed ledger, while allocs/op stays strict everywhere.
+bench-diff:
+	./scripts/bench_diff.sh
 
 # Launch surfnetsim with the obs server on a tiny figure and curl its
 # endpoints (same script CI runs).

@@ -7,13 +7,16 @@ package surfnet_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
+	"time"
 
 	"surfnet"
 	"surfnet/internal/decoder"
 	"surfnet/internal/matching"
 	"surfnet/internal/rng"
 	"surfnet/internal/surfacecode"
+	"surfnet/internal/telemetry"
 )
 
 // benchExperiments returns a one-trial experiment configuration sized for a
@@ -188,6 +191,41 @@ func BenchmarkUnionFindDecoder(b *testing.B) { benchDecoder(b, decoder.UnionFind
 // BenchmarkMWPMDecoder measures the modified MWPM decoder (Algorithm 1 /
 // Theorem 1).
 func BenchmarkMWPMDecoder(b *testing.B) { benchDecoder(b, decoder.MWPM{}) }
+
+// BenchmarkDecodeWallLatency measures per-decode wall latency *distribution*,
+// not just the mean: each decode is timed into the telemetry HDR histogram
+// and the p50/p99/p999 land in BENCH_decoder.json as extra metric families
+// (p50-ns/op ...), so tail regressions show in the trajectory even when the
+// mean holds.
+func BenchmarkDecodeWallLatency(b *testing.B) {
+	for _, dec := range []struct {
+		name string
+		d    decoder.Decoder
+	}{{"surfnet", decoder.SurfNet{}}, {"mwpm", decoder.MWPM{}}} {
+		b.Run(dec.name+"/d=9", func(b *testing.B) {
+			code := surfacecode.MustNew(9, surfacecode.CoreLShape)
+			nm := surfacecode.UniformNoise(code, 0.07, 0.15)
+			probs := nm.EdgeErrorProb()
+			src := rng.New(99)
+			h := telemetry.NewHDR(telemetry.WallLatencySpec)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				decodeOnce(b, code, dec.d, src, nm, probs)
+				h.Observe(time.Since(start).Seconds())
+			}
+			b.StopTimer()
+			for _, p := range []struct {
+				unit string
+				q    float64
+			}{{"p50-ns/op", 0.50}, {"p99-ns/op", 0.99}, {"p999-ns/op", 0.999}} {
+				if v := h.Quantile(p.q); !math.IsNaN(v) {
+					b.ReportMetric(v*1e9, p.unit)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkBlossom measures the exact minimum-weight perfect matcher on
 // random complete graphs of the sizes the MWPM decoder produces.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ablations [-study adaptive|stepsize|corelayout|erasure|scheduler|wait|all]
+//	ablations [-study adaptive|stepsize|decoders|corelayout|erasure|scheduler|wait|all]
 //	          [-trials N] [-seed S] [-workers N] [-listen ADDR] [-log-level LEVEL]
 //	          [-metrics-out F] [-trace-out F] [-cpuprofile F] [-memprofile F]
 package main
@@ -25,7 +25,7 @@ func main() {
 }
 
 func run() (exit int) {
-	study := flag.String("study", "all", "study to run: adaptive, stepsize, corelayout, erasure, scheduler, wait, or all")
+	study := flag.String("study", "all", "study to run: adaptive, stepsize, decoders, corelayout, erasure, scheduler, wait, or all")
 	trials := flag.Int("trials", 2000, "Monte-Carlo trials per decoder point / networks per cell (scaled down x100 for network studies)")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	var obs cliutil.Observability
@@ -46,6 +46,7 @@ func run() (exit int) {
 	netCfg.Workers = obs.Workers
 	netCfg.Metrics = obs.Registry
 	netCfg.Tracer = obs.TracerOrNil()
+	netCfg.Wall = obs.Wall
 	netCfg.Progress = obs.Progress
 
 	decCfg := experiments.DecoderStudyConfig{
@@ -72,6 +73,13 @@ func run() (exit int) {
 				return err
 			}
 			fmt.Println("SurfNet Decoder step size r (d=11, p=7%, erasure 15%):")
+			fmt.Print(experiments.FormatDecoderPoints(pts))
+		case "decoders":
+			pts, err := experiments.DecoderFamilyStudy(decCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Decoder family (d=11, p=7%, erasure 15%):")
 			fmt.Print(experiments.FormatDecoderPoints(pts))
 		case "corelayout":
 			byLayout, err := experiments.CoreLayoutStudy(decCfg)
@@ -112,7 +120,7 @@ func run() (exit int) {
 
 	studies := []string{*study}
 	if *study == "all" {
-		studies = []string{"adaptive", "stepsize", "corelayout", "erasure", "scheduler", "wait"}
+		studies = []string{"adaptive", "stepsize", "decoders", "corelayout", "erasure", "scheduler", "wait"}
 	}
 	for _, s := range studies {
 		slog.Info("running study", "study", s, "workers", obs.Workers)

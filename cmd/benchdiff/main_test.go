@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport marshals a snapshot into dir and returns its path.
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseline() Report {
+	return Report{
+		CPU: "test-cpu",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkMWPMDecode/d=5", NsPerOp: 13000, BytesPerOp: 256, AllocsPerOp: 3,
+				Extra: map[string]float64{"p99-ns/op": 19000}},
+			{Name: "BenchmarkSurfNetDecoder/d=9", NsPerOp: 100000, BytesPerOp: 1024, AllocsPerOp: 10},
+		},
+	}
+}
+
+func TestBenchdiffPassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", baseline())
+	newRep := baseline()
+	newRep.Benchmarks[0].NsPerOp *= 1.10 // +10% < default 20% band
+	newP := writeReport(t, dir, "new.json", newRep)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "within tolerance") {
+		t.Fatalf("missing pass summary:\n%s", out.String())
+	}
+}
+
+// TestBenchdiffFailsOnNsRegression pins the acceptance criterion: an injected
+// >=25% ns/op regression must exit non-zero under the default tolerance.
+func TestBenchdiffFailsOnNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", baseline())
+	newRep := baseline()
+	newRep.Benchmarks[0].NsPerOp *= 1.25
+	newP := writeReport(t, dir, "new.json", newRep)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errb); code != 1 {
+		t.Fatalf("run = %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("missing REGRESSION verdict:\n%s", out.String())
+	}
+	// A widened tolerance waves the same delta through.
+	if code := run([]string{"-tol", "0.5", oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("run -tol 0.5 = %d, want 0", code)
+	}
+}
+
+func TestBenchdiffGatesAllocsStrictly(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", baseline())
+	newRep := baseline()
+	newRep.Benchmarks[1].AllocsPerOp = 11 // one extra alloc
+	newP := writeReport(t, dir, "new.json", newRep)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errb); code != 1 {
+		t.Fatalf("run = %d, want 1 on alloc increase\n%s", code, out.String())
+	}
+	if code := run([]string{"-alloc-tol", "0.2", oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("run -alloc-tol 0.2 = %d, want 0", code)
+	}
+}
+
+// TestBenchdiffExtraMetricsReportOnly: percentile families show in the table
+// but never gate, even when they regress hard.
+func TestBenchdiffExtraMetricsReportOnly(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", baseline())
+	newRep := baseline()
+	newRep.Benchmarks[0].Extra["p99-ns/op"] = 100000 // 5x tail blowup
+	newP := writeReport(t, dir, "new.json", newRep)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0 (extras are not gated)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "not gated") {
+		t.Fatalf("extra regression not reported:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffMissingAndNewBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", baseline())
+	newRep := baseline()
+	newRep.Benchmarks = newRep.Benchmarks[:1] // drop SurfNetDecoder
+	newRep.Benchmarks = append(newRep.Benchmarks, Benchmark{Name: "BenchmarkNewThing", NsPerOp: 5})
+	newP := writeReport(t, dir, "new.json", newRep)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0 (missing is a warning by default)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "missing (skipped)") ||
+		!strings.Contains(out.String(), "new benchmark (no baseline): BenchmarkNewThing") {
+		t.Fatalf("missing/new reporting wrong:\n%s", out.String())
+	}
+	if code := run([]string{"-require-all", oldP, newP}, &out, &errb); code != 1 {
+		t.Fatalf("run -require-all = %d, want 1", code)
+	}
+}
+
+func TestBenchdiffUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"only-one.json"}, &out, &errb); code != 2 {
+		t.Fatalf("one arg: run = %d, want 2", code)
+	}
+	if code := run([]string{"nope1.json", "nope2.json"}, &out, &errb); code != 2 {
+		t.Fatalf("unreadable: run = %d, want 2", code)
+	}
+}

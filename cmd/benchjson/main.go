@@ -23,15 +23,19 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line. Extra collects every
+// non-standard value/unit pair the benchmark reported via b.ReportMetric —
+// the wall-latency percentile families (p50-ns/op, p99-ns/op, p999-ns/op)
+// land here — keyed by unit.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs"`
-	Package     string  `json:"package,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Package     string             `json:"package,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -72,13 +76,23 @@ func parseLine(line, pkg string) (Benchmark, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			b.NsPerOp = v
 		case "B/op":
 			b.BytesPerOp = int64(v)
 		case "allocs/op":
 			b.AllocsPerOp = int64(v)
+		case "MB/s":
+			// throughput is derivable from ns/op; skip to keep records lean
+		default:
+			// custom b.ReportMetric units (e.g. p99-ns/op)
+			if strings.HasSuffix(unit, "/op") {
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[unit] = v
+			}
 		}
 	}
 	if b.NsPerOp == 0 {

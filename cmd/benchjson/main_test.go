@@ -21,6 +21,21 @@ func TestParseLine(t *testing.T) {
 	if !ok || b.NsPerOp != 2000.5 || b.Procs != 1 {
 		t.Fatalf("plain line = %+v ok=%v", b, ok)
 	}
+	if b.Extra != nil {
+		t.Fatalf("plain line grew extra metrics: %+v", b.Extra)
+	}
+
+	// Custom b.ReportMetric units land in Extra; non-/op units are dropped.
+	b, ok = parseLine("BenchmarkDecodeWallLatency-8 	 100	 13000 ns/op	 13100 p50-ns/op	 19000 p99-ns/op	 42 widgets", "")
+	if !ok {
+		t.Fatal("extra-metric line not parsed")
+	}
+	if b.Extra["p50-ns/op"] != 13100 || b.Extra["p99-ns/op"] != 19000 {
+		t.Fatalf("extra metrics = %+v", b.Extra)
+	}
+	if _, ok := b.Extra["widgets"]; ok {
+		t.Fatalf("non-/op unit captured: %+v", b.Extra)
+	}
 
 	for _, line := range []string{
 		"PASS",

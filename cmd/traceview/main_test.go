@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"surfnet/internal/telemetry"
+)
+
+// buildTrace emits two realistic transfer scopes plus a non-span event
+// through the real SpanSet/JSONL pipeline, so the test parses exactly what
+// -trace-out writes.
+func buildTrace(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	tr := telemetry.NewJSONL(&sb)
+
+	// Scope (0,0): transfer(0..20) > epoch(0..20) > 2 slots, each with a
+	// zero-slot decode. Slot 1 is the slow one (12 slots).
+	s := telemetry.NewSpanSet(tr, 0, 0)
+	transfer := s.Start("transfer", 0, 0)
+	epoch := s.Start("epoch", transfer, 0)
+	slot1 := s.Start("slot", epoch, 0)
+	dec1 := s.Start("decode", slot1, 0)
+	s.End(dec1, 0)
+	s.End(slot1, 12)
+	slot2 := s.Start("slot", epoch, 12)
+	dec2 := s.Start("decode", slot2, 12)
+	s.End(dec2, 12)
+	s.End(slot2, 16)
+	s.End(epoch, 20)
+	s.End(transfer, 20)
+
+	// Scope (1,0): a faster transfer.
+	s2 := telemetry.NewSpanSet(tr, 1, 0)
+	t2 := s2.Start("transfer", 0, 0)
+	sl := s2.Start("slot", t2, 0)
+	s2.End(sl, 3)
+	s2.End(t2, 5)
+
+	// A non-span engine event must be counted but otherwise ignored.
+	ev := telemetry.Ev("core.photon_loss", "fiber", 3)
+	ev.Slot = 4
+	tr.Emit(ev)
+
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestAnalyzeSpanForest(t *testing.T) {
+	f, err := parseTrace(strings.NewReader(buildTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.events != 9 || f.spans != 8 {
+		t.Fatalf("events=%d spans=%d, want 9/8", f.events, f.spans)
+	}
+	rep := analyze(f, 3)
+	if rep.Trees != 2 {
+		t.Fatalf("trees = %d, want 2", rep.Trees)
+	}
+
+	byName := map[string]StageStat{}
+	for _, st := range rep.Stages {
+		byName[st.Name] = st
+	}
+	// transfer: durs 20 and 5; self for scope0 = 20-20(epoch)=0, scope1 = 5-3 = 2.
+	tr := byName["transfer"]
+	if tr.Count != 2 || tr.TotalSlots != 25 || tr.SelfSlots != 2 || tr.Max != 20 {
+		t.Fatalf("transfer stat %+v", tr)
+	}
+	// epoch self = 20 - (12+4) = 4.
+	if ep := byName["epoch"]; ep.SelfSlots != 4 || ep.Count != 1 {
+		t.Fatalf("epoch stat %+v", ep)
+	}
+	// slots: durs 3,4,12 → p50=4, p99=max=12; decodes are zero-slot children.
+	sl := byName["slot"]
+	if sl.Count != 3 || sl.P50 != 4 || sl.P99 != 12 || sl.SelfSlots != 19 {
+		t.Fatalf("slot stat %+v", sl)
+	}
+	if byName["decode"].TotalSlots != 0 {
+		t.Fatalf("decode stat %+v", byName["decode"])
+	}
+	// Hierarchical order: parents before children.
+	if rep.Stages[0].Name != "transfer" || rep.Stages[len(rep.Stages)-1].Name != "decode" {
+		t.Fatalf("stage order %+v", rep.Stages)
+	}
+
+	// Critical path of the slowest transfer: transfer > epoch > slot1 > decode.
+	if len(rep.Paths) != 2 {
+		t.Fatalf("paths = %d, want 2 (one per tree)", len(rep.Paths))
+	}
+	cp := rep.Paths[0]
+	if cp.Req != 0 || cp.DurSlots != 20 {
+		t.Fatalf("critical path root %+v", cp)
+	}
+	var names []string
+	for _, s := range cp.Steps {
+		names = append(names, s.Name)
+	}
+	if got := strings.Join(names, ">"); got != "transfer>epoch>slot>decode" {
+		t.Fatalf("critical path %q", got)
+	}
+	if cp.Steps[2].Dur != 12 {
+		t.Fatalf("critical path picked slot dur %d, want 12 (the heaviest)", cp.Steps[2].Dur)
+	}
+
+	// Slowest listing: the 12-slot slot leads its stage.
+	var slowestSlot *SlowSpan
+	for i := range rep.Slowest {
+		if rep.Slowest[i].Name == "slot" {
+			slowestSlot = &rep.Slowest[i]
+			break
+		}
+	}
+	if slowestSlot == nil || slowestSlot.DurSlots != 12 || slowestSlot.End != 12 {
+		t.Fatalf("slowest slot %+v", slowestSlot)
+	}
+}
+
+// TestRunTableAndJSON drives the CLI entry end to end on both output modes.
+func TestRunTableAndJSON(t *testing.T) {
+	trace := buildTrace(t)
+
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader(trace), &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"STAGE", "transfer", "critical paths", "slowest spans", "P99",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("table output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"-json", "-top", "2"}, strings.NewReader(trace), &out, &errb); code != 0 {
+		t.Fatalf("run -json = %d, stderr: %s", code, errb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("JSON output: %v\n%s", err, out.String())
+	}
+	if rep.Spans != 8 || len(rep.Stages) != 4 {
+		t.Fatalf("JSON report %+v", rep)
+	}
+
+	// Traces without spans are a usage error, not a zero report.
+	out.Reset()
+	if code := run(nil, strings.NewReader(`{"event":"core.decode","slot":1}`+"\n"), &out, &errb); code != 1 {
+		t.Fatalf("span-less trace: run = %d, want 1", code)
+	}
+}

@@ -53,6 +53,7 @@ func (MWPM) DecodeWith(in Input, s *Scratch) ([]int, error) {
 			s.mwpm = newMWPMScratch()
 		}
 		ms = s.mwpm
+		ms.probsEpoch = s.probsEpoch
 	} else {
 		ms = newMWPMScratch()
 	}

@@ -45,11 +45,29 @@ type Scratch struct {
 	// weighted-graph and Dijkstra-table cache plus the blossom arena.
 	// Created lazily by the first MWPM.DecodeWith on this arena.
 	mwpm *mwpmScratch
+	// probsEpoch is the caller-declared fidelity-vector tag threaded into
+	// the MWPM cache on each DecodeWith; see SetProbsEpoch.
+	probsEpoch uint64
 }
 
 // NewScratch returns an empty arena. Buffers are sized lazily by the first
 // decode that uses them.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// SetProbsEpoch declares that, until the next call, every ErrorProb vector
+// decoded on this arena is fully identified by epoch (a NewProbsEpoch tag):
+// equal epoch implies byte-equal ErrorProb contents per graph. The MWPM cache
+// then replaces the O(q) fidelity-vector hash with an epoch + erasure-set
+// key. Callers whose fidelities can drift (faults) must allocate a fresh
+// epoch at every mutation — a stale epoch silently decodes with stale
+// weights. Zero (the default) restores the content-hash mode, which is
+// always safe. Nil-receiver safe.
+func (s *Scratch) SetProbsEpoch(epoch uint64) {
+	if s == nil {
+		return
+	}
+	s.probsEpoch = epoch
+}
 
 // zSynBuf and xSynBuf expose the syndrome buffers nil-safely, so the frame
 // harness can thread them whether or not an arena is in use.

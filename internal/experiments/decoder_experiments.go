@@ -128,12 +128,18 @@ type fig8Scratch struct {
 func logicalRate(ctx context.Context, code *surfacecode.Code, dec decoder.Decoder, pauli, erasure float64, trials, workers int, seed uint64, reg *telemetry.Registry) (float64, error) {
 	nm := surfacecode.UniformNoise(code, pauli, erasure)
 	probs := nm.EdgeErrorProb()
+	// The probs vector is fixed for the whole cell, so one epoch tag lets
+	// the MWPM cache skip the per-decode fidelity-vector hash. Worker
+	// arenas are reused across cells (with different probs), so the tag is
+	// re-installed on every trial.
+	epoch := decoder.NewProbsEpoch()
 	root := rng.New(seed).Split(fmt.Sprintf("fig8/%s/%d/%.4f", dec.Name(), code.Distance(), pauli))
 	failed, err := sim.Run(ctx, trials, workers,
 		func(i int, w *sim.Worker) (bool, error) {
 			sc := sim.Scratch(w, "fig8", func() *fig8Scratch {
 				return &fig8Scratch{dec: decoder.NewScratch()}
 			})
+			sc.dec.SetProbsEpoch(epoch)
 			sc.frame, sc.erased = nm.SampleInto(root.SplitN("t", i), sc.frame, sc.erased)
 			res, _, err := decoder.DecodeFrameWith(code, dec, sc.frame, sc.erased, probs, reg, sc.dec)
 			if err != nil {

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"surfnet/internal/telemetry"
 )
 
 // Tracker aggregates live sweep progress for the /status endpoint. The
@@ -91,6 +93,9 @@ type Status struct {
 	ETASeconds    float64          `json:"eta_seconds"`
 	Cells         []CellStatus     `json:"cells,omitempty"`
 	Counters      map[string]int64 `json:"counters,omitempty"`
+	// Budget reports SLO burn when a latency budget is attached to the
+	// server (see telemetry.Budget); omitted otherwise.
+	Budget *telemetry.BudgetStatus `json:"budget,omitempty"`
 }
 
 // Status snapshots the tracker. On a nil Tracker it returns the zero Status.

@@ -24,6 +24,7 @@ import (
 type Server struct {
 	reg     *telemetry.Registry
 	tracker *Tracker
+	budget  atomic.Pointer[telemetry.Budget]
 	mux     *http.ServeMux
 	srv     *http.Server
 	ready   atomic.Bool
@@ -55,6 +56,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // SetReady flips the /readyz state. The CLI wrapper sets it true once sinks
 // and the experiment harness are wired, and false again during shutdown.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// SetBudget attaches a latency budget whose burn rate /status reports. A nil
+// budget detaches it.
+func (s *Server) SetBudget(b *telemetry.Budget) { s.budget.Store(b) }
 
 // Listen binds addr (e.g. ":9090", "127.0.0.1:0") and serves in the
 // background. It returns the bound address so callers can log the resolved
@@ -113,6 +118,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st.UptimeSeconds = time.Since(s.started).Seconds()
 	if s.reg != nil {
 		st.Counters = s.reg.Snapshot().Counters
+	}
+	if b := s.budget.Load(); b != nil {
+		bs := b.Status()
+		st.Budget = &bs
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

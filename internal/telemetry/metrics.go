@@ -256,6 +256,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	hdrs       map[string]*HDR
 }
 
 // NewRegistry returns an empty registry.
@@ -264,6 +265,7 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		hdrs:       map[string]*HDR{},
 	}
 }
 
@@ -311,8 +313,33 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		if !sort.Float64sAreSorted(bounds) || len(bounds) == 0 {
 			panic(fmt.Sprintf("telemetry: histogram %q needs ascending non-empty bounds", name))
 		}
+		if _, clash := r.hdrs[name]; clash {
+			panic(fmt.Sprintf("telemetry: histogram %q collides with an existing HDR", name))
+		}
 		h = newHistogram(bounds)
 		r.histograms[name] = h
+	}
+	return h
+}
+
+// HDR returns the named log-linear latency histogram, creating it with the
+// given layout on first use. Later calls return the existing histogram
+// regardless of spec, so instruments stay consistent across call sites. Names
+// share the histogram namespace: an HDR and a fixed-bucket Histogram may not
+// collide (snapshots would be ambiguous), so reusing a Histogram name panics.
+func (r *Registry) HDR(name string, spec HDRSpec) *HDR {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hdrs[name]
+	if !ok {
+		if _, clash := r.histograms[name]; clash {
+			panic(fmt.Sprintf("telemetry: HDR %q collides with an existing histogram", name))
+		}
+		h = NewHDR(spec)
+		r.hdrs[name] = h
 	}
 	return h
 }
@@ -326,6 +353,7 @@ type HistogramSnapshot struct {
 	P50     float64          `json:"p50"`
 	P90     float64          `json:"p90"`
 	P99     float64          `json:"p99"`
+	P999    float64          `json:"p999"`
 	Buckets []BucketSnapshot `json:"buckets"`
 }
 
@@ -380,12 +408,13 @@ func (r *Registry) Snapshot() Snapshot {
 			P50:   h.Quantile(0.50),
 			P90:   h.Quantile(0.90),
 			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
 		}
 		hs.Min = math.Float64frombits(h.minBits.Load())
 		hs.Max = math.Float64frombits(h.maxBits.Load())
 		if hs.Count == 0 {
 			hs.Min, hs.Max = 0, 0
-			hs.P50, hs.P90, hs.P99 = 0, 0, 0
+			hs.P50, hs.P90, hs.P99, hs.P999 = 0, 0, 0, 0
 		}
 		for i := range h.buckets {
 			le := math.Inf(1)
@@ -395,6 +424,12 @@ func (r *Registry) Snapshot() Snapshot {
 			hs.Buckets = append(hs.Buckets, BucketSnapshot{Le: le, Count: h.buckets[i].Load()})
 		}
 		s.Histograms[name] = hs
+	}
+	// HDR latency histograms share the exposition namespace: one
+	// HistogramSnapshot each, with empty finite buckets elided (the
+	// cumulative Prometheus series is unchanged by the elision).
+	for name, h := range r.hdrs {
+		s.Histograms[name] = h.snapshot()
 	}
 	return s
 }
@@ -423,8 +458,8 @@ func (s Snapshot) Text() string {
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		fmt.Fprintf(&b, "%s count=%d sum=%g min=%g max=%g p50=%g p90=%g p99=%g\n",
-			name, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P90, h.P99)
+		fmt.Fprintf(&b, "%s count=%d sum=%g min=%g max=%g p50=%g p90=%g p99=%g p999=%g\n",
+			name, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P90, h.P99, h.P999)
 	}
 	return b.String()
 }

@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WallSink is the non-deterministic half of the dual-clock span model: spans
+// keep measuring durations in slots (the engine's causal clock, emitted on
+// the deterministic trace stream), and a SpanSet wired to a WallSink
+// *additionally* captures each span's wall-clock duration into a per-span-name
+// HDR histogram ("<name>_wall_seconds" in the registry, so /metrics exposes
+// surfnet_decode_wall_seconds, surfnet_slot_wall_seconds, ...).
+//
+// Wall time never flows back into the simulation: the sink only reads the
+// clock and writes instruments, so instrumented runs stay byte-identical —
+// the invariant TestFig6aInvariantUnderFullObservability pins. Overrun trace
+// events go to the sink's own Tracer (a separate JSONL stream), never to the
+// deterministic one.
+//
+// A nil *WallSink disables wall capture at one branch per span, matching the
+// package's nil-receiver contract. All methods are safe for concurrent use.
+type WallSink struct {
+	reg    *Registry
+	now    func() time.Time
+	budget *Budget
+	tracer Tracer
+
+	mu    sync.Mutex
+	names map[string]*wallEntry
+}
+
+// wallEntry is the resolved instrument set of one span name. The budget
+// counters are nil when no budget covers the name; the aggregate pair
+// (budget.checked / budget.overruns, shared across names) rides along so
+// /metrics always has one roll-up family to alert on.
+type wallEntry struct {
+	hist       *HDR
+	checked    *Counter
+	overrun    *Counter
+	checkedAll *Counter
+	overrunAll *Counter
+}
+
+// NewWallSink returns a sink recording into reg. A nil registry yields a nil
+// sink (wall capture off).
+func NewWallSink(reg *Registry) *WallSink {
+	return NewWallSinkClock(reg, time.Now)
+}
+
+// NewWallSinkClock is NewWallSink with an injectable clock, for deterministic
+// tests.
+func NewWallSinkClock(reg *Registry, now func() time.Time) *WallSink {
+	if reg == nil {
+		return nil
+	}
+	return &WallSink{reg: reg, now: now, names: map[string]*wallEntry{}}
+}
+
+// SetBudget attaches a latency budget: spans whose names the budget covers
+// are counted and, when they exceed the limit, recorded as overruns.
+func (ws *WallSink) SetBudget(b *Budget) {
+	if ws == nil {
+		return
+	}
+	ws.mu.Lock()
+	ws.budget = b
+	ws.names = map[string]*wallEntry{} // re-resolve budget counters
+	ws.mu.Unlock()
+}
+
+// Budget reports the attached budget (nil when none).
+func (ws *WallSink) Budget() *Budget {
+	if ws == nil {
+		return nil
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.budget
+}
+
+// SetTracer attaches the sink's own trace stream for budget-overrun events.
+// It must be a different stream from the deterministic slot trace: wall data
+// on that stream would break trace byte-identity.
+func (ws *WallSink) SetTracer(t Tracer) {
+	if ws == nil {
+		return
+	}
+	ws.mu.Lock()
+	ws.tracer = t
+	ws.mu.Unlock()
+}
+
+// Now reads the sink's clock in nanoseconds; 0 on a nil sink. SpanSet stores
+// it per span at Start.
+func (ws *WallSink) Now() int64 {
+	if ws == nil {
+		return 0
+	}
+	return ws.now().UnixNano()
+}
+
+// entry resolves (once per span name) the instruments Record updates.
+func (ws *WallSink) entry(name string) (*wallEntry, *Budget, Tracer) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	e, ok := ws.names[name]
+	if !ok {
+		e = &wallEntry{hist: ws.reg.HDR(name+"_wall_seconds", WallLatencySpec)}
+		if ws.budget != nil && ws.budget.Covers(name) {
+			e.checked = ws.reg.Counter("budget.checked." + name)
+			e.overrun = ws.reg.Counter("budget.overruns." + name)
+			e.checkedAll = ws.reg.Counter("budget.checked")
+			e.overrunAll = ws.reg.Counter("budget.overruns")
+		}
+		ws.names[name] = e
+	}
+	return e, ws.budget, ws.tracer
+}
+
+// Record captures one span's wall duration: it feeds the span name's HDR
+// histogram and, when a budget covers the name, the budget accounting. req,
+// code, and slot tag the overrun trace event with the communication the span
+// belonged to (negative omits them).
+func (ws *WallSink) Record(name string, seconds float64, req, code, slot int) {
+	if ws == nil || seconds < 0 {
+		return
+	}
+	e, budget, tracer := ws.entry(name)
+	e.hist.Observe(seconds)
+	if e.checked == nil {
+		return
+	}
+	e.checked.Inc()
+	e.checkedAll.Inc()
+	if !budget.check(seconds) {
+		return
+	}
+	e.overrun.Inc()
+	e.overrunAll.Inc()
+	if tracer != nil {
+		ev := Ev("wall.budget_overrun",
+			"name", name, "wall_seconds", seconds, "budget_seconds", budget.LimitSeconds())
+		ev.Slot, ev.Req, ev.Code = slot, req, code
+		tracer.Emit(ev)
+	}
+}
+
+// Budget is a wall-clock latency objective over a set of span names (the
+// "-slot-budget 100us" SLO): every covered span is checked against the limit,
+// overruns are counted, and the burn rate — the fraction of checked spans
+// that blew the budget — is surfaced on /status. A nil *Budget disables
+// budget accounting.
+type Budget struct {
+	limitSeconds float64
+	covers       map[string]struct{}
+	checked      atomic.Int64
+	overruns     atomic.Int64
+}
+
+// DefaultBudgetSpans are the span names a budget covers when none are named:
+// the per-slot step and the decode it contains — the two latencies the
+// streaming-window roadmap items bound.
+var DefaultBudgetSpans = []string{"slot", "decode"}
+
+// NewBudget builds a budget with the given limit over the named spans
+// (DefaultBudgetSpans when none are given). A non-positive limit yields a nil
+// budget, the disabled default.
+func NewBudget(limit time.Duration, spanNames ...string) *Budget {
+	if limit <= 0 {
+		return nil
+	}
+	if len(spanNames) == 0 {
+		spanNames = DefaultBudgetSpans
+	}
+	b := &Budget{limitSeconds: limit.Seconds(), covers: map[string]struct{}{}}
+	for _, n := range spanNames {
+		b.covers[n] = struct{}{}
+	}
+	return b
+}
+
+// Covers reports whether the budget applies to spans named name.
+func (b *Budget) Covers(name string) bool {
+	if b == nil {
+		return false
+	}
+	_, ok := b.covers[name]
+	return ok
+}
+
+// LimitSeconds reports the budget limit (0 on nil).
+func (b *Budget) LimitSeconds() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.limitSeconds
+}
+
+// check records one covered observation and reports whether it overran.
+func (b *Budget) check(seconds float64) bool {
+	if b == nil {
+		return false
+	}
+	b.checked.Add(1)
+	if seconds <= b.limitSeconds {
+		return false
+	}
+	b.overruns.Add(1)
+	return true
+}
+
+// BudgetStatus is the frozen budget state served on /status.
+type BudgetStatus struct {
+	// LimitSeconds is the configured per-span budget.
+	LimitSeconds float64 `json:"limit_seconds"`
+	// Spans lists the covered span names, sorted.
+	Spans []string `json:"spans"`
+	// Checked counts covered spans observed so far.
+	Checked int64 `json:"checked"`
+	// Overruns counts spans that exceeded the budget.
+	Overruns int64 `json:"overruns"`
+	// BurnRate is Overruns/Checked — the fraction of the SLO being burned;
+	// 0 before any span is checked.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// Status snapshots the budget; the zero BudgetStatus on nil.
+func (b *Budget) Status() BudgetStatus {
+	var st BudgetStatus
+	if b == nil {
+		return st
+	}
+	st.LimitSeconds = b.limitSeconds
+	st.Spans = make([]string, 0, len(b.covers))
+	for n := range b.covers {
+		st.Spans = append(st.Spans, n)
+	}
+	sortStrings(st.Spans)
+	st.Checked = b.checked.Load()
+	st.Overruns = b.overruns.Load()
+	if st.Checked > 0 {
+		st.BurnRate = float64(st.Overruns) / float64(st.Checked)
+	}
+	return st
+}
+
+// sortStrings is a tiny local insertion sort so wall.go does not pull sort's
+// interface machinery into the hot path file's imports. Span-name sets are
+// length 2-3.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

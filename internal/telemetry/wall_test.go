@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic clock for wall-capture tests: each Now call
+// advances by step.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// TestWallSinkRecordsSpans checks the dual-clock path end to end: spans wired
+// to a sink feed <name>_wall_seconds HDR histograms while the deterministic
+// trace stream stays byte-identical with and without the sink.
+func TestWallSinkRecordsSpans(t *testing.T) {
+	run := func(wall *WallSink) string {
+		var sb strings.Builder
+		tr := NewJSONL(&sb)
+		s := NewSpanSetWall(tr, 2, 1, wall)
+		root := s.Start("transfer", 0, 0)
+		slot := s.Start("slot", root, 3)
+		dec := s.Start("decode", slot, 3)
+		s.End(dec, 3)
+		s.End(slot, 4)
+		s.End(root, 9, "delivered", true)
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	bare := run(nil)
+	reg := NewRegistry()
+	clock := &fakeClock{t: time.Unix(1000, 0), step: time.Millisecond}
+	sink := NewWallSinkClock(reg, clock.Now)
+	instrumented := run(sink)
+	if bare != instrumented {
+		t.Fatalf("wall capture changed the deterministic trace:\nbare:\n%s\ninstrumented:\n%s",
+			bare, instrumented)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{"transfer_wall_seconds", "slot_wall_seconds", "decode_wall_seconds"} {
+		hs, ok := snap.Histograms[name]
+		if !ok {
+			t.Fatalf("missing histogram %q in %v", name, snap.Histograms)
+		}
+		if hs.Count != 1 {
+			t.Errorf("%s count = %d, want 1", name, hs.Count)
+		}
+	}
+	// The fake clock ticks 1ms per Now(): decode spans 3 ticks between its
+	// Start (tick 3 within this spanset... measured) and End.
+	if hs := snap.Histograms["decode_wall_seconds"]; hs.Min <= 0 {
+		t.Errorf("decode wall min = %g, want > 0", hs.Min)
+	}
+}
+
+// TestWallSinkWithoutTracer checks metrics-only capture: a SpanSet with a
+// sink but no Tracer still records wall durations and emits nothing.
+func TestWallSinkWithoutTracer(t *testing.T) {
+	reg := NewRegistry()
+	clock := &fakeClock{t: time.Unix(0, 0), step: time.Microsecond}
+	sink := NewWallSinkClock(reg, clock.Now)
+	s := NewSpanSetWall(nil, -1, -1, sink)
+	if s == nil {
+		t.Fatal("sink-only SpanSet must be live")
+	}
+	id := s.Start("decode", 0, 0)
+	s.End(id, 1)
+	if got := reg.Snapshot().Histograms["decode_wall_seconds"].Count; got != 1 {
+		t.Fatalf("decode_wall_seconds count = %d, want 1", got)
+	}
+	if NewSpanSetWall(nil, -1, -1, nil) != nil {
+		t.Fatal("no tracer and no sink must yield the nil SpanSet")
+	}
+}
+
+// TestBudgetOverruns checks SLO accounting: covered spans are counted,
+// overruns detected against the limit, burn rate computed, registry counters
+// bumped, and overrun events emitted on the sink's own tracer only.
+func TestBudgetOverruns(t *testing.T) {
+	reg := NewRegistry()
+	clock := &fakeClock{t: time.Unix(0, 0), step: 100 * time.Microsecond}
+	sink := NewWallSinkClock(reg, clock.Now)
+	sink.SetBudget(NewBudget(150 * time.Microsecond)) // slot+decode by default
+	var sb strings.Builder
+	overrunTrace := NewJSONL(&sb)
+	sink.SetTracer(overrunTrace)
+
+	// Each Now() tick is 100µs. decode: Start..End = 1 tick inside = 100µs
+	// (under budget); slot: Start at tick1, End reads tick4 → 300µs (overrun).
+	s := NewSpanSetWall(nil, 0, 0, sink)
+	slot := s.Start("slot", 0, 10)
+	dec := s.Start("decode", slot, 10)
+	s.End(dec, 10)
+	s.End(slot, 11)
+	// transfer is not covered by the default budget.
+	tr := s.Start("transfer", 0, 0)
+	s.End(tr, 20)
+
+	b := sink.Budget()
+	st := b.Status()
+	if st.Checked != 2 {
+		t.Fatalf("checked = %d, want 2 (slot+decode)", st.Checked)
+	}
+	if st.Overruns != 1 {
+		t.Fatalf("overruns = %d, want 1 (slot only): %+v", st.Overruns, st)
+	}
+	if want := 0.5; st.BurnRate != want {
+		t.Fatalf("burn rate = %g, want %g", st.BurnRate, want)
+	}
+	if got := st.Spans; len(got) != 2 || got[0] != "decode" || got[1] != "slot" {
+		t.Fatalf("spans = %v, want [decode slot]", got)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["budget.overruns.slot"]; got != 1 {
+		t.Errorf("budget.overruns.slot = %d, want 1", got)
+	}
+	if got := snap.Counters["budget.checked.decode"]; got != 1 {
+		t.Errorf("budget.checked.decode = %d, want 1", got)
+	}
+	if _, ok := snap.Counters["budget.checked.transfer"]; ok {
+		t.Error("transfer must not be budget-checked by default")
+	}
+	if got := snap.Counters["budget.checked"]; got != 2 {
+		t.Errorf("aggregate budget.checked = %d, want 2", got)
+	}
+	if got := snap.Counters["budget.overruns"]; got != 1 {
+		t.Errorf("aggregate budget.overruns = %d, want 1", got)
+	}
+
+	if err := overrunTrace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"event":"wall.budget_overrun"`) ||
+		!strings.Contains(out, `"name":"slot"`) {
+		t.Fatalf("overrun trace missing event: %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("want exactly one overrun event, got: %q", out)
+	}
+}
+
+// TestBudgetNilAndZero pins the disabled defaults: non-positive limits yield
+// nil budgets, and nil budgets/sinks no-op everywhere.
+func TestBudgetNilAndZero(t *testing.T) {
+	if NewBudget(0) != nil || NewBudget(-time.Second) != nil {
+		t.Fatal("non-positive budget must be nil")
+	}
+	var b *Budget
+	if b.Covers("slot") || b.LimitSeconds() != 0 {
+		t.Fatal("nil budget must cover nothing")
+	}
+	if st := b.Status(); st.Checked != 0 || st.BurnRate != 0 || st.Spans != nil {
+		t.Fatalf("nil budget status = %+v, want zero", st)
+	}
+	var ws *WallSink
+	ws.SetBudget(NewBudget(time.Second))
+	ws.SetTracer(nil)
+	ws.Record("slot", 1, 0, 0, 0)
+	if ws.Now() != 0 || ws.Budget() != nil {
+		t.Fatal("nil sink must no-op")
+	}
+	if NewWallSink(nil) != nil {
+		t.Fatal("nil registry must yield nil sink")
+	}
+	// Custom span coverage.
+	cb := NewBudget(time.Millisecond, "epoch")
+	if !cb.Covers("epoch") || cb.Covers("slot") {
+		t.Fatal("custom budget coverage wrong")
+	}
+	if math.Abs(cb.LimitSeconds()-0.001) > 1e-15 {
+		t.Fatalf("limit = %g, want 0.001", cb.LimitSeconds())
+	}
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Perf-regression ledger gate: regenerate the benchmark snapshot through
+# `make bench-json` and diff it against the checked-in BENCH_decoder.json
+# with cmd/benchdiff, failing on any gated regression.
+#
+# Tunables (environment):
+#   BENCHTIME            per-benchmark budget for the fresh snapshot. Default
+#                        1s — the same budget `make bench-json` writes the
+#                        ledger with, so one-time lazy-init allocations
+#                        amortize identically on both sides; a shorter
+#                        benchtime here would show up as phantom B/op and
+#                        allocs/op drift against the ledger.
+#   BENCHDIFF_TOL        ns/op tolerance band (default 0.2; CI widens this
+#                        because its hardware differs from the ledger's)
+#   BENCHDIFF_BYTES_TOL  B/op tolerance band (default 0.1)
+#   BENCHDIFF_ALLOC_TOL  allocs/op tolerance band (default 0.01 — allocs are
+#                        machine-independent, but per-op averages of
+#                        amortized setup can flutter by ±1 on hundreds of
+#                        allocs; 1% absorbs that while any real added
+#                        allocation in a lean loop still fails)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+
+# The baseline is the ledger as it sits in the working tree (normally the
+# committed one). Save it aside and restore it afterwards, so regenerating
+# the snapshot never clobbers an uncommitted ledger update.
+base="$workdir/BENCH_base.json"
+new="$workdir/BENCH_new.json"
+cp BENCH_decoder.json "$base"
+restore() { cp "$base" BENCH_decoder.json; rm -rf "$workdir"; }
+trap restore EXIT
+
+make bench-json BENCHTIME="${BENCHTIME:-1s}" >/dev/null
+mv BENCH_decoder.json "$new"
+cp "$base" BENCH_decoder.json
+
+go run ./cmd/benchdiff \
+    -tol "${BENCHDIFF_TOL:-0.2}" \
+    -bytes-tol "${BENCHDIFF_BYTES_TOL:-0.1}" \
+    -alloc-tol "${BENCHDIFF_ALLOC_TOL:-0.01}" \
+    "$base" "$new"

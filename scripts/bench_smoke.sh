@@ -30,6 +30,7 @@ expected = [
     "BenchmarkMWPMDecode/d=5/scratch",
     "BenchmarkDecodeFrameAllocs/",
     "BenchmarkRunOverhead/",
+    "BenchmarkDecodeWallLatency/",
 ]
 missing = [e for e in expected if not any(n.startswith(e) for n in names)]
 if missing:
@@ -37,5 +38,12 @@ if missing:
 for b in report["benchmarks"]:
     if b["ns_per_op"] <= 0:
         sys.exit(f"suspicious ns_per_op in {b['name']}: {b['ns_per_op']}")
+    # The wall-latency family must carry its percentile extras so tail
+    # regressions stay visible in the trajectory.
+    if b["name"].startswith("BenchmarkDecodeWallLatency/"):
+        extra = b.get("extra", {})
+        for unit in ("p50-ns/op", "p99-ns/op", "p999-ns/op"):
+            if extra.get(unit, 0) <= 0:
+                sys.exit(f"{b['name']} missing percentile metric {unit}: {extra}")
 print(f"bench smoke OK: {len(names)} benchmarks, all expected families present")
 EOF

@@ -2,7 +2,9 @@
 # Smoke-test the live observability plane: launch surfnetsim with -listen on
 # an ephemeral port and a workload long enough to scrape mid-run, then assert
 # /metrics serves well-formed Prometheus exposition, /healthz answers ok, and
-# /status reports live sweep progress.
+# /status reports live sweep progress. Runs with -wall and a deliberately
+# unmeetable -slot-budget so the wall-clock histogram families and the
+# budget-overrun counter must appear in /metrics.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,7 +15,10 @@ trap 'kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; rm -rf "
 
 go build -o "$workdir/surfnetsim" ./cmd/surfnetsim
 
+# -slot-budget 1ns: every span overruns, so the overrun counter is
+# deterministically nonzero by the time the run ends.
 "$workdir/surfnetsim" -fig 6a,6b1,7 -trials 40 -requests 6 \
+  -wall -slot-budget 1ns \
   -listen 127.0.0.1:0 >"$workdir/stdout.log" 2>"$stderr" &
 pid=$!
 
@@ -46,6 +51,27 @@ bad="$(grep -v '^#' "$metrics" | grep -cv '^surfnet_[A-Za-z0-9_]*\({[^}]*}\)\? -
 [ "$bad" -eq 0 ] || { echo "$bad malformed sample lines in /metrics"; cat "$metrics"; exit 1; }
 grep -q '_total ' "$metrics" || { echo "no counters in /metrics"; cat "$metrics"; exit 1; }
 
+# Wall-clock latency observability (-wall -slot-budget): the dual-clock span
+# histograms and the budget-overrun counter must materialize once the first
+# spans complete. With a 1ns budget every checked span overruns, so the
+# counter is strictly positive.
+for _ in $(seq 1 200); do
+  if grep -q '^surfnet_slot_wall_seconds_count [1-9]' "$metrics" \
+    && grep -q '^surfnet_decode_wall_seconds_count [1-9]' "$metrics" \
+    && grep -q '^surfnet_budget_overruns_total [1-9]' "$metrics"; then
+    break
+  fi
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+  curl -fsS "http://$addr/metrics" >"$metrics" || true
+done
+grep -q '^surfnet_slot_wall_seconds_count [1-9]' "$metrics" \
+  || { echo "no slot wall-latency histogram in /metrics"; cat "$metrics"; exit 1; }
+grep -q '^surfnet_decode_wall_seconds_count [1-9]' "$metrics" \
+  || { echo "no decode wall-latency histogram in /metrics"; cat "$metrics"; exit 1; }
+grep -q '^surfnet_budget_overruns_total [1-9]' "$metrics" \
+  || { echo "no budget overruns counted in /metrics"; cat "$metrics"; exit 1; }
+
 # /status must be JSON with live cell progress.
 status="$workdir/status.json"
 curl -fsS "http://$addr/status" >"$status"
@@ -56,6 +82,11 @@ assert st["ready"] is True, st
 assert st["cells_started"] >= 1, st
 assert st["trials_total"] >= 1, st
 assert isinstance(st.get("cells", []), list), st
+b = st.get("budget")
+assert b is not None, st
+assert b["limit_seconds"] > 0, b
+assert b["checked"] >= 1 and b["overruns"] >= 1, b
+assert 0 < b["burn_rate"] <= 1, b
 EOF
 
 # pprof must be fetchable during the run (if it is still running).
