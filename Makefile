@@ -4,7 +4,7 @@ GO ?= go
 # pipeline.
 BENCHTIME ?= 1s
 
-.PHONY: build test race vet check bench-json bench-smoke bench-diff obs-smoke
+.PHONY: build test race vet check bench-json bench-smoke bench-diff bench-save obs-smoke daemon-smoke service-bench
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,31 @@ bench-smoke:
 bench-diff:
 	./scripts/bench_diff.sh
 
+# Regenerate every committed benchdiff baseline (BENCH_decoder.json and
+# BENCH_service.json) in one step, for the commit that intentionally moves
+# the perf ledger. Refuses on a dirty working tree so a baseline refresh can
+# never silently absorb unrelated uncommitted changes into the ledger commit.
+bench-save:
+	@if [ -n "$$(git status --porcelain)" ]; then \
+		echo "bench-save: working tree is dirty; commit or stash first" >&2; \
+		git status --short >&2; \
+		exit 1; \
+	fi
+	$(MAKE) bench-json
+	./scripts/service_bench.sh
+
 # Launch surfnetsim with the obs server on a tiny figure and curl its
 # endpoints (same script CI runs).
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# End-to-end resident-daemon check: surfnetd on an ephemeral port, a
+# 1000-request surfload, service metrics on /metrics and /status, then a
+# mid-load SIGTERM asserting the zero-drop drain (same script CI runs).
+daemon-smoke:
+	./scripts/daemon_smoke.sh
+
+# Service-level perf gate: rerun the canonical surfload scenario and diff the
+# wall-latency ledger against the committed BENCH_service.json.
+service-bench:
+	./scripts/service_bench.sh diff

@@ -1,0 +1,154 @@
+// Command surfnetd is the resident SurfNet control-plane daemon: it owns one
+// generated network's state for its whole lifetime and serves transfer
+// admission over HTTP/JSON while re-using the batch pipeline underneath —
+// transfers are admitted into epoch batches, each epoch is planned by the
+// warm-started LP planner over current state and executed on the re-entrant
+// parallel engine. The batch CLIs (surfnetsim, faultsim, ...) remain the
+// figure-reproduction path; surfnetd is the service path over the same
+// engine.
+//
+// API (on the -listen address, shared with the ops surface):
+//
+//	POST /v1/transfers       admit a transfer (202; 429 shed + Retry-After;
+//	                         503 draining; 400 invalid)
+//	GET  /v1/transfers/{id}  transfer status
+//	GET  /v1/network         the owned network snapshot
+//	GET  /metrics /healthz /readyz /status /debug/pprof/   ops plane
+//
+// Lifecycle: /readyz stays 503 until the daemon owns network state and the
+// API routes are mounted; SIGINT/SIGTERM flips /readyz back to 503 and drains
+// — every admitted transfer completes its epoch before the process exits.
+//
+// Usage:
+//
+//	surfnetd -listen :8080 [-facilities abundant|sufficient|insufficient]
+//	         [-fidelity good|poor] [-net-seed S] [-seed S]
+//	         [-queue-limit N] [-epoch-max N] [-fiber-fail-prob P]
+//	         [-workers N] [-log-level LEVEL] [-metrics-out FILE] ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+
+	"surfnet/internal/cliutil"
+	"surfnet/internal/core"
+	"surfnet/internal/decoder"
+	"surfnet/internal/rng"
+	"surfnet/internal/routing"
+	"surfnet/internal/service"
+	"surfnet/internal/topology"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// parseFacilities maps the -facilities flag onto a scenario.
+func parseFacilities(s string) (topology.Facilities, error) {
+	switch strings.ToLower(s) {
+	case "abundant", "":
+		return topology.Abundant, nil
+	case "sufficient":
+		return topology.Sufficient, nil
+	case "insufficient":
+		return topology.Insufficient, nil
+	}
+	return topology.Facilities{}, fmt.Errorf("unknown facilities %q (want abundant, sufficient, or insufficient)", s)
+}
+
+// parseFidelity maps the -fidelity flag onto a connection-quality range.
+func parseFidelity(s string) (topology.FidelityRange, error) {
+	switch strings.ToLower(s) {
+	case "good", "":
+		return topology.GoodConnection, nil
+	case "poor":
+		return topology.PoorConnection, nil
+	}
+	return topology.FidelityRange{}, fmt.Errorf("unknown fidelity %q (want good or poor)", s)
+}
+
+func run() (exit int) {
+	facilitiesArg := flag.String("facilities", "abundant", "facility scenario the daemon owns: abundant, sufficient, or insufficient")
+	fidelityArg := flag.String("fidelity", "good", "fiber fidelity range: good or poor")
+	netSeed := flag.Uint64("net-seed", 1, "topology generation seed")
+	seed := flag.Uint64("seed", 1, "service epoch seed (per-epoch rng streams derive from it)")
+	queueLimit := flag.Int("queue-limit", 0, "admission queue bound; arrivals beyond it are shed with 429 (0: default 256)")
+	epochMax := flag.Int("epoch-max", 0, "max transfers batched into one planning epoch (0: default 32)")
+	fiberFailProb := flag.Float64("fiber-fail-prob", 0, "per-slot fiber crash probability during execution")
+	var obs cliutil.Observability
+	obs.DeferReady = true // not ready until the engine owns state and routes are up
+	obs.Register(flag.CommandLine)
+	flag.Parse()
+
+	if obs.Listen == "" {
+		fmt.Fprintln(os.Stderr, "surfnetd: -listen is required (the daemon is its HTTP API)")
+		return 2
+	}
+	if err := obs.Start(); err != nil {
+		slog.Error("surfnetd: startup failed", "err", err)
+		return 1
+	}
+	defer cliutil.ExitOnFinishError(&obs, &exit)
+
+	fac, err := parseFacilities(*facilitiesArg)
+	if err != nil {
+		slog.Error("surfnetd: bad -facilities", "err", err)
+		return 1
+	}
+	fr, err := parseFidelity(*fidelityArg)
+	if err != nil {
+		slog.Error("surfnetd: bad -fidelity", "err", err)
+		return 1
+	}
+
+	net, err := topology.Generate(topology.DefaultParams(fac, fr), rng.New(*netSeed))
+	if err != nil {
+		slog.Error("surfnetd: generating topology", "err", err)
+		return 1
+	}
+	cfg := core.DefaultConfig()
+	cfg.Decoder = decoder.SurfNet{}
+	cfg.FiberFailProb = *fiberFailProb
+	eng, err := core.NewEngine(net, cfg)
+	if err != nil {
+		slog.Error("surfnetd: building engine", "err", err)
+		return 1
+	}
+	pl := routing.NewPlanner(routing.DefaultParams(routing.SurfNet))
+
+	srv := obs.ObsServer()
+	svc, err := service.New(eng, pl, service.Config{
+		QueueLimit: *queueLimit,
+		EpochMax:   *epochMax,
+		Workers:    obs.Workers,
+		Seed:       *seed,
+		Metrics:    obs.Registry,
+		DrainHook:  func() { srv.SetReady(false) },
+	})
+	if err != nil {
+		slog.Error("surfnetd: building service", "err", err)
+		return 1
+	}
+	svc.RegisterRoutes(srv.Handle)
+	srv.SetServiceStatus(func() any { return svc.Status() })
+	// The engine owns state and the API is mounted: now — and only now —
+	// report ready.
+	srv.SetReady(true)
+	slog.Info("surfnetd: serving",
+		"facilities", fac.Name, "nodes", net.NumNodes(), "fibers", net.NumFibers(),
+		"queue_limit", *queueLimit, "epoch_max", *epochMax)
+
+	if err := svc.Run(obs.Context()); err != nil {
+		slog.Error("surfnetd: service loop failed", "err", err)
+		return 1
+	}
+	st := svc.Status()
+	slog.Info("surfnetd: drained",
+		"admitted", st.Admitted, "completed", st.Completed,
+		"failed", st.Failed, "shed", st.Shed, "epochs", st.Epochs)
+	return 0
+}

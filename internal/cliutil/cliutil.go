@@ -50,6 +50,13 @@ type Observability struct {
 	// only trades wall time for cores.
 	Workers int
 
+	// DeferReady keeps /readyz at 503 after Start. Batch CLIs are ready the
+	// moment the server is up, but a resident daemon must not report ready
+	// until it owns network state and its API routes are mounted — set
+	// DeferReady and flip ObsServer().SetReady(true) at that point (and
+	// back to false when draining).
+	DeferReady bool
+
 	// WallClock enables wall-clock span capture (-wall): spans feed the
 	// <name>_wall_seconds HDR histograms on the registry. Implied by
 	// -slot-budget and -wall-trace-out.
@@ -79,9 +86,9 @@ type Observability struct {
 	wallTracer *telemetry.JSONL
 	wallFile   *os.File
 	server     *obs.Server
-	addr      net.Addr
-	ctx       context.Context
-	stop      context.CancelFunc
+	addr       net.Addr
+	ctx        context.Context
+	stop       context.CancelFunc
 }
 
 // Addr reports the observability server's bound address ("" before Start or
@@ -227,10 +234,17 @@ func (o *Observability) Start() error {
 		o.addr = addr
 		slog.Info("observability server listening", "addr", addr.String())
 		o.server.SetBudget(o.Wall.Budget())
-		o.server.SetReady(true)
+		if !o.DeferReady {
+			o.server.SetReady(true)
+		}
 	}
 	return nil
 }
+
+// ObsServer returns the live observability server, nil before Start or
+// without -listen. Resident daemons use it to mount API routes, attach a
+// service status snapshot, and control /readyz (see DeferReady).
+func (o *Observability) ObsServer() *obs.Server { return o.server }
 
 // Finish shuts down the observability server, stops the CPU profile, writes
 // the heap profile and the metrics snapshot, and flushes the trace. It

@@ -166,3 +166,31 @@ func TestListenScrapeOverHTTP(t *testing.T) {
 		t.Fatalf("scrape missing counter:\n%s", body)
 	}
 }
+
+func TestDeferReadyKeepsReadyzDown(t *testing.T) {
+	o := &Observability{Listen: "127.0.0.1:0", LogLevel: "error", DeferReady: true}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Finish()
+	resp, err := http.Get("http://" + o.Addr() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with DeferReady = %d, want 503", resp.StatusCode)
+	}
+	if o.ObsServer() == nil {
+		t.Fatal("ObsServer should be available after Start with -listen")
+	}
+	o.ObsServer().SetReady(true)
+	resp2, err := http.Get("http://" + o.Addr() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after SetReady = %d, want 200", resp2.StatusCode)
+	}
+}

@@ -15,9 +15,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"surfnet/internal/decoder"
 	"surfnet/internal/faults"
@@ -25,6 +27,7 @@ import (
 	"surfnet/internal/quantum"
 	"surfnet/internal/rng"
 	"surfnet/internal/routing"
+	"surfnet/internal/sim"
 	"surfnet/internal/surfacecode"
 	"surfnet/internal/telemetry"
 )
@@ -159,6 +162,16 @@ func DefaultConfig() Config {
 }
 
 func (c Config) validate(net *network.Network, sched routing.Schedule) error {
+	if err := c.validateEngine(net); err != nil {
+		return err
+	}
+	return c.validateSchedule(sched)
+}
+
+// validateEngine checks the schedule-independent configuration: everything a
+// resident engine can verify once at construction, before any schedule
+// arrives.
+func (c Config) validateEngine(net *network.Network) error {
 	if c.Code == nil {
 		return fmt.Errorf("%w: nil code", ErrConfig)
 	}
@@ -210,6 +223,12 @@ func (c Config) validate(net *network.Network, sched routing.Schedule) error {
 	if c.SwapEfficiency < 0 || c.SwapEfficiency > 1 {
 		return fmt.Errorf("%w: SwapEfficiency %v", ErrConfig, c.SwapEfficiency)
 	}
+	return nil
+}
+
+// validateSchedule checks the configuration against one schedule: the code
+// geometry must match the schedule's routing parameters.
+func (c Config) validateSchedule(sched routing.Schedule) error {
 	p := sched.Params
 	adaptive := len(p.AdaptiveDistances) > 0
 	if !adaptive && (sched.Design == routing.SurfNet || sched.Design == routing.Raw) {
@@ -340,31 +359,81 @@ func (r RunResult) DeliveredFraction() float64 {
 	return float64(n) / float64(len(r.Outcomes))
 }
 
-// Run executes every scheduled code of sched on net. Codes are simulated on
-// independent randomness sub-streams, so results are reproducible and
-// insensitive to iteration order.
-func Run(net *network.Network, sched routing.Schedule, cfg Config, src *rng.Source) (RunResult, error) {
-	if err := cfg.validate(net, sched); err != nil {
+// Engine is the re-entrant execution engine: it owns a network and a
+// schedule-independent configuration, validated once at construction, and
+// executes any number of schedules against them. This is the resident mode
+// the control-plane daemon runs on — network state lives in the engine while
+// epoch batches of admitted transfers stream through Execute/ExecuteParallel
+// — and the substrate the one-shot Run wrapper delegates to, so batch CLIs
+// and the daemon share one code path.
+type Engine struct {
+	net *network.Network
+	cfg Config
+
+	// codes caches built surface codes by distance (0 = the configured
+	// default), shared across Execute calls so a resident engine builds each
+	// geometry once. Guarded for ExecuteParallel's worker pool.
+	mu    sync.Mutex
+	codes map[int]*surfacecode.Code
+}
+
+// NewEngine validates the schedule-independent configuration against the
+// network and returns an engine ready to execute schedules.
+func NewEngine(net *network.Network, cfg Config) (*Engine, error) {
+	if net == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrConfig)
+	}
+	if err := cfg.validateEngine(net); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		net:   net,
+		cfg:   cfg,
+		codes: map[int]*surfacecode.Code{0: cfg.Code},
+	}, nil
+}
+
+// Network returns the network state the engine owns.
+func (e *Engine) Network() *network.Network { return e.net }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// codeFor returns the surface code for the given distance (0 = default),
+// building and caching it on first use.
+func (e *Engine) codeFor(distance int) (*surfacecode.Code, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	code, ok := e.codes[distance]
+	if !ok {
+		var err error
+		code, err = surfacecode.New(distance, e.cfg.Code.Layout())
+		if err != nil {
+			return nil, err
+		}
+		e.codes[distance] = code
+	}
+	return code, nil
+}
+
+// Execute runs every scheduled code of sched serially. Codes are simulated on
+// independent randomness sub-streams derived from src by request and code
+// index, so results are reproducible and insensitive to iteration order —
+// and identical to ExecuteParallel at any worker count.
+func (e *Engine) Execute(sched routing.Schedule, src *rng.Source) (RunResult, error) {
+	if err := e.cfg.validateSchedule(sched); err != nil {
 		return RunResult{}, err
 	}
 	res := RunResult{Design: sched.Design}
-	// Codes by distance, for QoS-adaptive schedules; distance 0 is the
-	// configured default code.
-	codes := map[int]*surfacecode.Code{0: cfg.Code}
 	for ri, rs := range sched.Requests {
 		for ci, cr := range rs.Codes {
-			code, ok := codes[cr.Distance]
-			if !ok {
-				var err error
-				code, err = surfacecode.New(cr.Distance, cfg.Code.Layout())
-				if err != nil {
-					return RunResult{}, fmt.Errorf("request %d code %d: building distance-%d code: %w",
-						ri, ci, cr.Distance, err)
-				}
-				codes[cr.Distance] = code
+			code, err := e.codeFor(cr.Distance)
+			if err != nil {
+				return RunResult{}, fmt.Errorf("request %d code %d: building distance-%d code: %w",
+					ri, ci, cr.Distance, err)
 			}
 			stream := src.SplitN(fmt.Sprintf("req%d", ri), ci)
-			o, err := runOne(net, sched, cfg, code, rs.Request, cr, stream, ri, ci)
+			o, err := runOne(e.net, sched, e.cfg, code, rs.Request, cr, stream, ri, ci)
 			if err != nil {
 				return RunResult{}, fmt.Errorf("request %d code %d: %w", ri, ci, err)
 			}
@@ -373,6 +442,66 @@ func Run(net *network.Network, sched routing.Schedule, cfg Config, src *rng.Sour
 		}
 	}
 	return res, nil
+}
+
+// ExecuteParallel runs the schedule's codes on a deterministic worker pool.
+// Each code draws from the same src.SplitN(req, code) sub-stream as Execute
+// and outcomes are reduced in (request, code) order, so the result is
+// field-for-field identical to Execute for every worker count — the
+// worker-invariance contract daemon-admitted transfers inherit. ctx cancels
+// between codes; workers <= 0 selects GOMAXPROCS.
+func (e *Engine) ExecuteParallel(ctx context.Context, sched routing.Schedule, src *rng.Source, workers int) (RunResult, error) {
+	if err := e.cfg.validateSchedule(sched); err != nil {
+		return RunResult{}, err
+	}
+	type codeJob struct {
+		ri, ci int
+		req    network.Request
+		cr     routing.CodeRoute
+		code   *surfacecode.Code
+	}
+	var jobs []codeJob
+	for ri, rs := range sched.Requests {
+		for ci, cr := range rs.Codes {
+			code, err := e.codeFor(cr.Distance)
+			if err != nil {
+				return RunResult{}, fmt.Errorf("request %d code %d: building distance-%d code: %w",
+					ri, ci, cr.Distance, err)
+			}
+			jobs = append(jobs, codeJob{ri: ri, ci: ci, req: rs.Request, cr: cr, code: code})
+		}
+	}
+	res := RunResult{Design: sched.Design}
+	if len(jobs) == 0 {
+		return res, nil
+	}
+	outcomes, err := sim.Run(ctx, len(jobs), workers, func(i int, _ *sim.Worker) (Outcome, error) {
+		j := jobs[i]
+		stream := src.SplitN(fmt.Sprintf("req%d", j.ri), j.ci)
+		o, err := runOne(e.net, sched, e.cfg, j.code, j.req, j.cr, stream, j.ri, j.ci)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("request %d code %d: %w", j.ri, j.ci, err)
+		}
+		o.Request, o.Code = j.ri, j.ci
+		return o, nil
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	res.Outcomes = outcomes
+	return res, nil
+}
+
+// Run executes every scheduled code of sched on net: the one-shot batch entry
+// point, a NewEngine + Execute pair. Codes are simulated on independent
+// randomness sub-streams, so results are reproducible and insensitive to
+// iteration order.
+func Run(net *network.Network, sched routing.Schedule, cfg Config, src *rng.Source) (RunResult, error) {
+	e, err := NewEngine(net, cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return e.Execute(sched, src)
 }
 
 // runOne dispatches on the schedule's design. ri and ci tag telemetry with

@@ -143,6 +143,9 @@ type Stats struct {
 	DegeneratePivots int
 	// Refreshes counts exact reduced-cost recomputations.
 	Refreshes int
+	// WarmStarted reports that SolveFrom installed the supplied basis and
+	// skipped phase 1; false on cold solves and on warm-start fallbacks.
+	WarmStarted bool
 }
 
 // Solution is the result of solving a Problem.
@@ -153,6 +156,10 @@ type Solution struct {
 	// Stats reports solver effort; populated on every outcome, including
 	// Infeasible and Unbounded.
 	Stats Stats
+	// Basis is the final simplex basis on Optimal outcomes: one tableau
+	// column index per constraint row. Feed it to SolveFrom on a
+	// similarly-shaped problem to warm-start the next solve.
+	Basis []int
 }
 
 // Solver errors.
@@ -189,86 +196,12 @@ const (
 // Solve runs two-phase primal simplex. An Infeasible or Unbounded status is
 // reported in the Solution, not as an error; errors indicate solver failure.
 func (p *Problem) Solve() (Solution, error) {
+	s, artStart, feasScale, nArt := p.tableau()
 	m := len(p.constraints)
-	n := p.numVars
-	// Column layout: [structural | slack/surplus | artificial], built row
-	// by row with b >= 0.
-	type rowInfo struct {
-		coeffs []float64
-		rhs    float64
-		sense  Sense
-	}
-	rows := make([]rowInfo, m)
-	for i, c := range p.constraints {
-		r := rowInfo{coeffs: make([]float64, n), rhs: c.RHS, sense: c.Sense}
-		for _, t := range c.Terms {
-			r.coeffs[t.Var] += t.Coeff
-		}
-		if r.rhs < 0 {
-			for j := range r.coeffs {
-				r.coeffs[j] = -r.coeffs[j]
-			}
-			r.rhs = -r.rhs
-			switch r.sense {
-			case LessEq:
-				r.sense = GreaterEq
-			case GreaterEq:
-				r.sense = LessEq
-			}
-		}
-		rows[i] = r
-	}
-	// Count slack and artificial columns, and record the feasibility scale
-	// (rows are normalized to rhs >= 0 above).
-	nSlack, nArt := 0, 0
-	feasScale := 1.0
-	for _, r := range rows {
-		if r.rhs > feasScale {
-			feasScale = r.rhs
-		}
-		switch r.sense {
-		case LessEq:
-			nSlack++
-		case GreaterEq:
-			nSlack++
-			nArt++
-		case Equal:
-			nArt++
-		}
-	}
-	total := n + nSlack + nArt
-	// Tableau: m rows x (total+1) columns, last column RHS.
-	t := make([][]float64, m)
-	basis := make([]int, m)
-	slackCol, artCol := n, n+nSlack
-	artStart := n + nSlack
-	for i, r := range rows {
-		t[i] = make([]float64, total+1)
-		copy(t[i], r.coeffs)
-		t[i][total] = r.rhs
-		switch r.sense {
-		case LessEq:
-			t[i][slackCol] = 1
-			basis[i] = slackCol
-			slackCol++
-		case GreaterEq:
-			t[i][slackCol] = -1
-			slackCol++
-			t[i][artCol] = 1
-			basis[i] = artCol
-			artCol++
-		case Equal:
-			t[i][artCol] = 1
-			basis[i] = artCol
-			artCol++
-		}
-	}
-
-	s := &simplex{t: t, basis: basis, total: total}
 	// Phase 1: minimize the sum of artificial variables.
 	if nArt > 0 {
-		obj := make([]float64, total)
-		for j := artStart; j < total; j++ {
+		obj := make([]float64, s.total)
+		for j := artStart; j < s.total; j++ {
 			obj[j] = -1 // maximize -(sum of artificials)
 		}
 		val, err := s.optimize(obj, artStart)
@@ -302,8 +235,160 @@ func (p *Problem) Solve() (Solution, error) {
 		}
 	}
 	s.stats.Phase1Pivots = s.stats.Pivots
-	// Phase 2: real objective over structural columns only. Artificials
-	// are frozen at zero by restricting entering columns below artStart.
+	return p.phase2(s, artStart)
+}
+
+// SolveFrom runs simplex warm-started from a previous Optimal solution's
+// Basis: the basis is installed by Gauss-Jordan pivots and, when the
+// resulting vertex is primal-feasible, phase 1 is skipped entirely — the
+// incremental re-plan path for a resident control plane re-solving a routing
+// LP after small topology or demand deltas. Whenever the basis cannot be
+// installed (shape mismatch, singular or artificial columns) or the vertex is
+// infeasible for the new right-hand side, it falls back to a cold Solve, so
+// SolveFrom never sacrifices correctness for speed. A nil basis is exactly
+// Solve.
+func (p *Problem) SolveFrom(basis []int) (Solution, error) {
+	if len(basis) != len(p.constraints) || len(basis) == 0 {
+		return p.Solve()
+	}
+	s, artStart, feasScale, _ := p.tableau()
+	if !s.install(basis, artStart) {
+		return p.Solve()
+	}
+	// The installed vertex must be primal-feasible for the new RHS;
+	// tolerate (and clamp) elimination roundoff at the feasibility scale.
+	for i := range s.t {
+		rhs := s.t[i][s.total]
+		if rhs < -feasRelTol*feasScale {
+			return p.Solve()
+		}
+		if rhs < 0 {
+			s.t[i][s.total] = 0
+		}
+	}
+	s.stats.WarmStarted = true
+	s.stats.Phase1Pivots = s.stats.Pivots
+	return p.phase2(s, artStart)
+}
+
+// install pivots the canonical tableau onto the given basis, assigning each
+// basis column to the unused row with the largest pivot magnitude (partial
+// pivoting). It reports false — leaving the caller to fall back to a cold
+// solve — when a column is out of range, artificial, duplicated, or the
+// basis matrix is numerically singular.
+func (s *simplex) install(basis []int, artStart int) bool {
+	m := len(s.t)
+	used := make([]bool, m)
+	for _, b := range basis {
+		if b < 0 || b >= artStart {
+			return false
+		}
+		row, best := -1, pivotEps
+		for i := 0; i < m; i++ {
+			if used[i] {
+				continue
+			}
+			if a := math.Abs(s.t[i][b]); a > best {
+				best, row = a, i
+			}
+		}
+		if row < 0 {
+			return false
+		}
+		s.pivot(row, b)
+		used[row] = true
+	}
+	return true
+}
+
+// tableau builds the canonical simplex tableau: slack/surplus and artificial
+// columns appended after the structural variables, rows normalized to
+// non-negative RHS, slacks/artificials forming the starting basis.
+func (p *Problem) tableau() (s *simplex, artStart int, feasScale float64, nArt int) {
+	m := len(p.constraints)
+	n := p.numVars
+	// Column layout: [structural | slack/surplus | artificial], built row
+	// by row with b >= 0.
+	type rowInfo struct {
+		coeffs []float64
+		rhs    float64
+		sense  Sense
+	}
+	rows := make([]rowInfo, m)
+	for i, c := range p.constraints {
+		r := rowInfo{coeffs: make([]float64, n), rhs: c.RHS, sense: c.Sense}
+		for _, t := range c.Terms {
+			r.coeffs[t.Var] += t.Coeff
+		}
+		if r.rhs < 0 {
+			for j := range r.coeffs {
+				r.coeffs[j] = -r.coeffs[j]
+			}
+			r.rhs = -r.rhs
+			switch r.sense {
+			case LessEq:
+				r.sense = GreaterEq
+			case GreaterEq:
+				r.sense = LessEq
+			}
+		}
+		rows[i] = r
+	}
+	// Count slack and artificial columns, and record the feasibility scale
+	// (rows are normalized to rhs >= 0 above).
+	nSlack := 0
+	feasScale = 1.0
+	for _, r := range rows {
+		if r.rhs > feasScale {
+			feasScale = r.rhs
+		}
+		switch r.sense {
+		case LessEq:
+			nSlack++
+		case GreaterEq:
+			nSlack++
+			nArt++
+		case Equal:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Tableau: m rows x (total+1) columns, last column RHS.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol, artCol := n, n+nSlack
+	artStart = n + nSlack
+	for i, r := range rows {
+		t[i] = make([]float64, total+1)
+		copy(t[i], r.coeffs)
+		t[i][total] = r.rhs
+		switch r.sense {
+		case LessEq:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GreaterEq:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case Equal:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+	}
+
+	return &simplex{t: t, basis: basis, total: total}, artStart, feasScale, nArt
+}
+
+// phase2 maximizes the real objective over structural columns only from the
+// current (feasible) basis, then extracts the solution. Artificials are
+// frozen at zero by restricting entering columns below artStart.
+func (p *Problem) phase2(s *simplex, artStart int) (Solution, error) {
+	n := p.numVars
+	total := s.total
 	obj := make([]float64, total)
 	for j := 0; j < n; j++ {
 		if p.maximize {
@@ -328,7 +413,10 @@ func (p *Problem) Solve() (Solution, error) {
 	if !p.maximize {
 		val = -val
 	}
-	return Solution{Status: Optimal, X: x, Objective: val, Stats: s.stats}, nil
+	return Solution{
+		Status: Optimal, X: x, Objective: val, Stats: s.stats,
+		Basis: append([]int(nil), s.basis...),
+	}, nil
 }
 
 var errUnbounded = errors.New("lp: unbounded")

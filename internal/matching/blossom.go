@@ -127,7 +127,19 @@ type solver struct {
 	vis        []int
 	visToken   int
 	flower     [][]int
-	queue      []int
+
+	// queue is a head-indexed FIFO: popping advances qHead instead of
+	// re-slicing, so the backing array's front capacity is never lost and a
+	// steady-state matching round appends into storage it already owns
+	// (re-slicing drifted the slice forward each round, forcing qPush to
+	// reallocate — the last allocation between MWPM.DecodeWith and zero
+	// allocs/op).
+	queue []int
+	qHead int
+
+	// rot is the blossom-cycle rotation scratch of setMatch, reused across
+	// calls so rotating a flower never allocates.
+	rot []int
 }
 
 func newSolver(n int) *solver {
@@ -230,12 +242,13 @@ func (s *solver) setMatch(u, v int) {
 		s.setMatch(s.flower[u][i], s.flower[u][i^1])
 	}
 	s.setMatch(xr, v)
-	// Rotate so xr leads the cycle.
+	// Rotate so xr leads the cycle, via the reusable scratch (in-place
+	// rotation keeps the flower's backing array and allocates nothing once
+	// rot has grown to the largest cycle seen).
 	fl := s.flower[u]
-	rotated := make([]int, 0, len(fl))
-	rotated = append(rotated, fl[pr:]...)
-	rotated = append(rotated, fl[:pr]...)
-	s.flower[u] = rotated
+	s.rot = append(s.rot[:0], fl[pr:]...)
+	s.rot = append(s.rot, fl[:pr]...)
+	copy(fl, s.rot)
 }
 
 func (s *solver) augment(u, v int) {
@@ -381,6 +394,7 @@ func (s *solver) matchingRound() bool {
 		s.slack[i] = 0
 	}
 	s.queue = s.queue[:0]
+	s.qHead = 0
 	for x := 1; x <= s.nx; x++ {
 		if s.st[x] == x && s.match[x] == 0 {
 			s.pa[x] = 0
@@ -392,9 +406,9 @@ func (s *solver) matchingRound() bool {
 		return false
 	}
 	for {
-		for len(s.queue) > 0 {
-			u := s.queue[0]
-			s.queue = s.queue[1:]
+		for s.qHead < len(s.queue) {
+			u := s.queue[s.qHead]
+			s.qHead++
 			if s.side[s.st[u]] == 1 {
 				continue
 			}
@@ -448,6 +462,7 @@ func (s *solver) matchingRound() bool {
 			}
 		}
 		s.queue = s.queue[:0]
+		s.qHead = 0
 		for x := 1; x <= s.nx; x++ {
 			if s.st[x] == x && s.slack[x] != 0 && s.st[s.slack[x]] != x &&
 				s.eDelta(s.g[s.slack[x]][x]) == 0 {

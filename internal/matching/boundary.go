@@ -189,6 +189,8 @@ func (s *solver) reset(n int) {
 		}
 	}
 	s.n, s.nx = n, n
+	s.queue = s.queue[:0]
+	s.qHead = 0
 	// vis/visToken survive: tokens are strictly increasing, so stale vis
 	// entries can never equal a future token.
 }

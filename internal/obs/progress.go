@@ -96,6 +96,10 @@ type Status struct {
 	// Budget reports SLO burn when a latency budget is attached to the
 	// server (see telemetry.Budget); omitted otherwise.
 	Budget *telemetry.BudgetStatus `json:"budget,omitempty"`
+	// Service embeds the resident daemon's snapshot (queue depth, admission
+	// and shed counters, per-tenant accounting) when one is attached via
+	// Server.SetServiceStatus; omitted in batch runs.
+	Service any `json:"service,omitempty"`
 }
 
 // Status snapshots the tracker. On a nil Tracker it returns the zero Status.

@@ -21,10 +21,15 @@ import (
 //	/debug/pprof/  the standard runtime profiles
 //
 // Handlers only read state, so scraping mid-run never perturbs results.
+//
+// A resident daemon mounts its API routes with Handle and attaches a service
+// snapshot with SetServiceStatus, making this one mux both the ops surface
+// and the serving surface.
 type Server struct {
 	reg     *telemetry.Registry
 	tracker *Tracker
 	budget  atomic.Pointer[telemetry.Budget]
+	service atomic.Pointer[func() any]
 	mux     *http.ServeMux
 	srv     *http.Server
 	ready   atomic.Bool
@@ -52,6 +57,22 @@ func NewServer(reg *telemetry.Registry, tracker *Tracker) *Server {
 
 // Handler exposes the server's mux, mainly for httptest-based tests.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Handle mounts an additional route on the server's mux — the daemon's API
+// endpoints live next to the ops endpoints. Mount before Listen; the mux
+// panics on duplicate patterns, same as http.ServeMux.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// SetServiceStatus attaches a snapshot callback whose result /status embeds
+// under "service" — queue depth, admission counters, tenant accounting. The
+// callback must be safe for concurrent use; nil detaches it.
+func (s *Server) SetServiceStatus(fn func() any) {
+	if fn == nil {
+		s.service.Store(nil)
+		return
+	}
+	s.service.Store(&fn)
+}
 
 // SetReady flips the /readyz state. The CLI wrapper sets it true once sinks
 // and the experiment harness are wired, and false again during shutdown.
@@ -122,6 +143,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if b := s.budget.Load(); b != nil {
 		bs := b.Status()
 		st.Budget = &bs
+	}
+	if fn := s.service.Load(); fn != nil {
+		st.Service = (*fn)()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

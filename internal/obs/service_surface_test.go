@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"surfnet/internal/telemetry"
+)
+
+// TestReadyzResidentLifecycle is the regression test for resident-mode
+// readiness ordering: /readyz must stay 503 after construction and route
+// mounting, report ready only on the explicit SetReady(true) a daemon issues
+// once it owns state, and flip back to 503 the moment draining begins — while
+// /healthz stays 200 throughout (the process is alive, just not admitting).
+func TestReadyzResidentLifecycle(t *testing.T) {
+	s := NewServer(telemetry.NewRegistry(), NewTracker())
+	s.Handle("/v1/transfers", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before SetReady = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", got)
+	}
+	s.SetReady(true)
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz after SetReady = %d, want 200", got)
+	}
+	if got := get("/v1/transfers"); got != http.StatusAccepted {
+		t.Fatalf("mounted API route = %d, want 202", got)
+	}
+	// Drain begins: the daemon flips ready off while in-flight work finishes.
+	s.SetReady(false)
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200", got)
+	}
+}
+
+func TestStatusEmbedsServiceSnapshot(t *testing.T) {
+	s := NewServer(telemetry.NewRegistry(), NewTracker())
+	type svc struct {
+		QueueDepth int `json:"queue_depth"`
+		Admitted   int `json:"admitted"`
+	}
+	s.SetServiceStatus(func() any { return svc{QueueDepth: 3, Admitted: 41} })
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Service *svc `json:"service"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Service == nil || st.Service.QueueDepth != 3 || st.Service.Admitted != 41 {
+		t.Fatalf("service snapshot = %+v, want queue_depth 3 admitted 41", st.Service)
+	}
+
+	s.SetServiceStatus(nil)
+	resp2, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st2 map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2["service"]; ok {
+		t.Fatal("service key should be omitted after detaching the snapshot")
+	}
+}

@@ -342,15 +342,31 @@ type LPResult struct {
 	Objective float64
 	// Stats reports the simplex effort spent on this solve.
 	Stats lp.Stats
+	// Basis is the optimal simplex basis, reusable by SolveLPFrom to
+	// warm-start a later solve of a similarly-shaped instance.
+	Basis []int
 }
 
 // SolveLP solves the relaxation and extracts the Y_k values.
 func (f *Formulation) SolveLP() (LPResult, error) {
-	sol, err := f.Problem.Solve()
+	return f.solve(func() (lp.Solution, error) { return f.Problem.Solve() })
+}
+
+// SolveLPFrom solves the relaxation warm-started from a previous solve's
+// basis, falling back to a cold solve when the basis no longer applies (see
+// lp.SolveFrom). This is the incremental re-plan path: a resident control
+// plane re-solving after small topology or demand deltas skips phase 1
+// whenever the old vertex is still feasible.
+func (f *Formulation) SolveLPFrom(basis []int) (LPResult, error) {
+	return f.solve(func() (lp.Solution, error) { return f.Problem.SolveFrom(basis) })
+}
+
+func (f *Formulation) solve(run func() (lp.Solution, error)) (LPResult, error) {
+	sol, err := run()
 	if err != nil {
 		return LPResult{}, err
 	}
-	res := LPResult{Status: sol.Status, Objective: sol.Objective, Stats: sol.Stats}
+	res := LPResult{Status: sol.Status, Objective: sol.Objective, Stats: sol.Stats, Basis: sol.Basis}
 	if sol.Status != lp.Optimal {
 		return res, nil
 	}
@@ -386,15 +402,7 @@ func ScheduleLP(net *network.Network, reqs []network.Request, p Params) (Schedul
 	}
 	res, err := form.SolveLP()
 	if err == nil {
-		p.Metrics.Counter("routing.lp_solves").Inc()
-		p.Metrics.Counter("routing.lp_pivots").Add(int64(res.Stats.Pivots))
-		p.Metrics.Counter("routing.lp_iterations").Add(int64(res.Stats.Iterations))
-		p.Metrics.Counter("routing.lp_degenerate_pivots").Add(int64(res.Stats.DegeneratePivots))
-		telemetry.Emit(p.Tracer, telemetry.Ev("routing.lp_solved",
-			"status", res.Status.String(), "objective", res.Objective,
-			"pivots", res.Stats.Pivots, "iterations", res.Stats.Iterations,
-			"degenerate", res.Stats.DegeneratePivots,
-			"vars", form.Problem.NumVars(), "constraints", form.Problem.NumConstraints()))
+		emitLPSolved(p, form, res)
 	}
 	if err != nil {
 		// Solver failures (e.g. the iteration budget on a heavily
@@ -409,6 +417,28 @@ func ScheduleLP(net *network.Network, reqs []network.Request, p Params) (Schedul
 		// empty schedule gracefully.
 		return fallback("lp-" + res.Status.String())
 	}
+	return roundAndRepair(net, reqs, p, res)
+}
+
+// emitLPSolved records solver-effort telemetry for one relaxation solve.
+func emitLPSolved(p Params, form *Formulation, res LPResult) {
+	p.Metrics.Counter("routing.lp_solves").Inc()
+	p.Metrics.Counter("routing.lp_pivots").Add(int64(res.Stats.Pivots))
+	p.Metrics.Counter("routing.lp_iterations").Add(int64(res.Stats.Iterations))
+	p.Metrics.Counter("routing.lp_degenerate_pivots").Add(int64(res.Stats.DegeneratePivots))
+	telemetry.Emit(p.Tracer, telemetry.Ev("routing.lp_solved",
+		"status", res.Status.String(), "objective", res.Objective,
+		"pivots", res.Stats.Pivots, "iterations", res.Stats.Iterations,
+		"degenerate", res.Stats.DegeneratePivots,
+		"vars", form.Problem.NumVars(), "constraints", form.Problem.NumConstraints()))
+}
+
+// roundAndRepair turns an optimal relaxation into an integral,
+// execution-feasible schedule: round each Y_k to the nearest integer (capped
+// at the request's demand) and admit greedily in decreasing fractional-Y
+// order. Shared verbatim by the batch ScheduleLP path and the resident
+// Planner so both produce identical schedules from identical relaxations.
+func roundAndRepair(net *network.Network, reqs []network.Request, p Params, res LPResult) (Schedule, error) {
 	targets := make([]int, len(reqs))
 	order := make([]int, len(reqs))
 	roundedUp, roundedDown := 0, 0

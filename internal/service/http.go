@@ -1,0 +1,107 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// API is the service's HTTP/JSON surface:
+//
+//	POST /v1/transfers       admit a transfer (202; 429 shed + Retry-After;
+//	                         503 draining; 400 invalid)
+//	GET  /v1/transfers/{id}  transfer status (200; 404 unknown)
+//	GET  /v1/network         network snapshot (nodes, fibers, roles)
+//
+// RegisterRoutes mounts these on any mux-like mount function — in the
+// daemon, the obs.Server's mux, so the ops plane and the serving plane share
+// one listener.
+func (s *Service) RegisterRoutes(mount func(pattern string, h http.Handler)) {
+	mount("POST /v1/transfers", http.HandlerFunc(s.handleSubmit))
+	mount("GET /v1/transfers/{id}", http.HandlerFunc(s.handleGet))
+	mount("GET /v1/network", http.HandlerFunc(s.handleNetwork))
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req TransferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Shed: the queue drains one epoch at a time, so a short client
+		// backoff is the right hint.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// NetworkInfo is the GET /v1/network response.
+type NetworkInfo struct {
+	Nodes  []NodeInfo  `json:"nodes"`
+	Fibers []FiberInfo `json:"fibers"`
+}
+
+// NodeInfo describes one node.
+type NodeInfo struct {
+	ID       int    `json:"id"`
+	Role     string `json:"role"`
+	Capacity int    `json:"capacity,omitempty"`
+}
+
+// FiberInfo describes one fiber.
+type FiberInfo struct {
+	ID       int     `json:"id"`
+	A        int     `json:"a"`
+	B        int     `json:"b"`
+	Fidelity float64 `json:"fidelity"`
+	EntPairs int     `json:"ent_pairs"`
+}
+
+func (s *Service) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	net := s.eng.Network()
+	info := NetworkInfo{}
+	for i := 0; i < net.NumNodes(); i++ {
+		n := net.Node(i)
+		info.Nodes = append(info.Nodes, NodeInfo{
+			ID: n.ID, Role: n.Role.String(), Capacity: n.Capacity,
+		})
+	}
+	for i := 0; i < net.NumFibers(); i++ {
+		f := net.Fiber(i)
+		info.Fibers = append(info.Fibers, FiberInfo{
+			ID: f.ID, A: f.A, B: f.B, Fidelity: f.Fidelity, EntPairs: f.EntPairs,
+		})
+	}
+	writeJSON(w, http.StatusOK, info)
+}

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"surfnet/internal/telemetry"
+)
+
+// apiFixture mounts the service API on a test server.
+func apiFixture(t *testing.T, cfg Config) (*Service, []TransferRequest, *httptest.Server) {
+	t.Helper()
+	svc, subs := fixture(t, cfg)
+	mux := http.NewServeMux()
+	svc.RegisterRoutes(mux.Handle)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return svc, subs, srv
+}
+
+func postTransfer(t *testing.T, url string, req TransferRequest) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/transfers", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPSubmitAndGet(t *testing.T) {
+	svc, subs, srv := apiFixture(t, Config{})
+	resp := postTransfer(t, srv.URL, subs[0])
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want 202", resp.StatusCode)
+	}
+	var st TransferStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State != StateQueued {
+		t.Fatalf("submitted status = %+v", st)
+	}
+
+	if _, err := svc.StepEpoch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(fmt.Sprintf("%s/v1/transfers/%s", srv.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d, want 200", resp2.StatusCode)
+	}
+	var got TransferStatus
+	if err := json.NewDecoder(resp2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCompleted {
+		t.Fatalf("state = %q, want completed", got.State)
+	}
+}
+
+// TestHTTPQueueFull429RetryAfter is the satellite regression test: a bounded
+// queue at capacity must shed with 429 and a Retry-After hint.
+func TestHTTPQueueFull429RetryAfter(t *testing.T) {
+	_, subs, srv := apiFixture(t, Config{QueueLimit: 1, Metrics: telemetry.NewRegistry()})
+	resp := postTransfer(t, srv.URL, subs[0])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST = %d, want 202", resp.StatusCode)
+	}
+	resp2 := postTransfer(t, srv.URL, subs[1])
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second POST = %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry a Retry-After header")
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error == "" {
+		t.Fatal("429 body must name the shed reason")
+	}
+}
+
+func TestHTTPDraining503(t *testing.T) {
+	svc, subs, srv := apiFixture(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := svc.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp := postTransfer(t, srv.URL, subs[0])
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, _, srv := apiFixture(t, Config{})
+	resp, err := http.Post(srv.URL+"/v1/transfers", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON = %d, want 400", resp.StatusCode)
+	}
+	resp2 := postTransfer(t, srv.URL, TransferRequest{Src: 0, Dst: 0, Messages: 1})
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid transfer = %d, want 400", resp2.StatusCode)
+	}
+	resp3, err := http.Get(srv.URL + "/v1/transfers/t-404")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown transfer = %d, want 404", resp3.StatusCode)
+	}
+}
+
+func TestHTTPNetworkSnapshot(t *testing.T) {
+	svc, _, srv := apiFixture(t, Config{})
+	resp, err := http.Get(srv.URL + "/v1/network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/network = %d, want 200", resp.StatusCode)
+	}
+	var info NetworkInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	net := svc.Engine().Network()
+	if len(info.Nodes) != net.NumNodes() || len(info.Fibers) != net.NumFibers() {
+		t.Fatalf("snapshot %d nodes / %d fibers, want %d / %d",
+			len(info.Nodes), len(info.Fibers), net.NumNodes(), net.NumFibers())
+	}
+	users := 0
+	for _, n := range info.Nodes {
+		if n.Role == "user" {
+			users++
+		}
+	}
+	if users == 0 {
+		t.Fatal("no user nodes in snapshot")
+	}
+}

@@ -1,0 +1,450 @@
+// Package service is the resident control plane: a long-running Service owns
+// a core.Engine (network state) and a routing.Planner (warm-started LP
+// re-planning), admits transfer requests mid-stream into a bounded queue,
+// batches them into epochs, and executes each epoch on the deterministic
+// worker pool. Admission control and load-shedding are first-class: a full
+// queue sheds with ErrQueueFull (HTTP 429), a draining service refuses with
+// ErrDraining (HTTP 503), and every decision is counted on the telemetry
+// registry the ops plane serves at /metrics.
+//
+// Determinism: epoch e executes on the rng sub-stream SplitN("epoch", e) of
+// the service's root source and runs through core.Engine.ExecuteParallel,
+// whose outcomes are worker-count invariant — so a daemon-admitted transfer
+// produces the same result regardless of pool width or the wall-clock timing
+// of its admission within an epoch.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"surfnet/internal/core"
+	"surfnet/internal/network"
+	"surfnet/internal/rng"
+	"surfnet/internal/routing"
+	"surfnet/internal/telemetry"
+
+	"context"
+)
+
+// Admission errors. The HTTP layer maps them onto status codes.
+var (
+	// ErrQueueFull sheds a submission because the bounded queue is at
+	// capacity (HTTP 429 with Retry-After).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrDraining refuses a submission because the service is shutting
+	// down (HTTP 503).
+	ErrDraining = errors.New("service: draining")
+	// ErrUnknownTransfer reports a Get for an ID never admitted.
+	ErrUnknownTransfer = errors.New("service: unknown transfer")
+)
+
+// Config sizes the resident control plane.
+type Config struct {
+	// QueueLimit bounds the admission queue; submissions beyond it are
+	// shed with ErrQueueFull. Zero selects 256.
+	QueueLimit int
+	// EpochMax caps transfers batched into one epoch. Zero selects 32.
+	EpochMax int
+	// Workers sizes the execution pool. Results are identical for every
+	// value; zero selects GOMAXPROCS.
+	Workers int
+	// Seed seeds the root randomness source; epoch e draws from
+	// SplitN("epoch", e). Zero selects 1.
+	Seed uint64
+	// Metrics receives service counters, gauges, and the wall-latency
+	// HDR histogram; nil instruments are no-ops.
+	Metrics *telemetry.Registry
+	// DrainHook, when non-nil, runs exactly once at the start of a drain —
+	// before the final epochs execute — so the daemon can flip /readyz off
+	// while in-flight work completes.
+	DrainHook func()
+}
+
+func (c *Config) fill() {
+	if c.QueueLimit == 0 {
+		c.QueueLimit = 256
+	}
+	if c.EpochMax == 0 {
+		c.EpochMax = 32
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Transfer states.
+const (
+	StateQueued    = "queued"
+	StateCompleted = "completed"
+	StateFailed    = "failed"
+)
+
+// TransferRequest is one admission request: tenant tag plus the network
+// request it carries.
+type TransferRequest struct {
+	Tenant   string `json:"tenant"`
+	Src      int    `json:"src"`
+	Dst      int    `json:"dst"`
+	Messages int    `json:"messages"`
+}
+
+// TransferStatus is the externally visible state of one transfer.
+type TransferStatus struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant,omitempty"`
+	State    string `json:"state"`
+	Src      int    `json:"src"`
+	Dst      int    `json:"dst"`
+	Messages int    `json:"messages"`
+	// Epoch is the epoch that executed the transfer (terminal states).
+	Epoch int64 `json:"epoch,omitempty"`
+	// AcceptedCodes is how many surface codes the scheduler admitted for
+	// this transfer; DeliveredCodes and SuccessCodes summarize execution.
+	AcceptedCodes  int `json:"accepted_codes"`
+	DeliveredCodes int `json:"delivered_codes"`
+	SuccessCodes   int `json:"success_codes"`
+	// WallLatencySeconds is admission-to-completion wall time (terminal
+	// states only).
+	WallLatencySeconds float64 `json:"wall_latency_seconds,omitempty"`
+	// Error carries the failure reason when State is failed.
+	Error string `json:"error,omitempty"`
+}
+
+// transfer is the internal record behind a TransferStatus.
+type transfer struct {
+	status    TransferStatus
+	submitted time.Time
+}
+
+// TenantStats is the per-tenant admission accounting /status reports.
+type TenantStats struct {
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Failed    int64 `json:"failed"`
+}
+
+// Status is the service snapshot embedded in /status (see
+// obs.Server.SetServiceStatus).
+type Status struct {
+	Draining   bool                   `json:"draining"`
+	QueueDepth int                    `json:"queue_depth"`
+	Admitted   int64                  `json:"admitted"`
+	Completed  int64                  `json:"completed"`
+	Failed     int64                  `json:"failed"`
+	Shed       int64                  `json:"shed"`
+	Epochs     int64                  `json:"epochs"`
+	Tenants    map[string]TenantStats `json:"tenants,omitempty"`
+	// WallP50/P99 are admission-to-completion latency quantiles in
+	// seconds over completed transfers.
+	WallP50 float64 `json:"wall_p50_seconds"`
+	WallP99 float64 `json:"wall_p99_seconds"`
+}
+
+// Service is the resident control plane. Construct with New, serve its HTTP
+// API via RegisterRoutes, and run the epoch loop with Run (or drive epochs
+// synchronously with StepEpoch in tests).
+type Service struct {
+	eng *core.Engine
+	pl  *routing.Planner
+	cfg Config
+	src *rng.Source
+
+	admitted   *telemetry.Counter
+	completed  *telemetry.Counter
+	failed     *telemetry.Counter
+	shed       *telemetry.Counter
+	epochsCtr  *telemetry.Counter
+	queueDepth *telemetry.Gauge
+	wall       *telemetry.HDR
+
+	wake chan struct{}
+
+	mu        sync.Mutex
+	queue     []*transfer
+	transfers map[string]*transfer
+	tenants   map[string]*TenantStats
+	seq       int64
+	epoch     int64
+	draining  bool
+	drained   chan struct{} // closed when a drain has fully completed
+	// totals mirror the registry counters so Status works without metrics.
+	totals struct{ admitted, completed, failed, shed int64 }
+}
+
+// New builds a service over an engine and planner. The planner's design
+// governs scheduling; the engine owns the network the epochs execute on.
+func New(eng *core.Engine, pl *routing.Planner, cfg Config) (*Service, error) {
+	if eng == nil {
+		return nil, errors.New("service: nil engine")
+	}
+	if pl == nil {
+		return nil, errors.New("service: nil planner")
+	}
+	cfg.fill()
+	reg := cfg.Metrics
+	s := &Service{
+		eng:        eng,
+		pl:         pl,
+		cfg:        cfg,
+		src:        rng.New(cfg.Seed),
+		admitted:   reg.Counter("service.admitted"),
+		completed:  reg.Counter("service.completed"),
+		failed:     reg.Counter("service.failed"),
+		shed:       reg.Counter("service.shed"),
+		epochsCtr:  reg.Counter("service.epochs"),
+		queueDepth: reg.Gauge("service.queue_depth"),
+		wake:       make(chan struct{}, 1),
+		transfers:  make(map[string]*transfer),
+		tenants:    make(map[string]*TenantStats),
+		drained:    make(chan struct{}),
+	}
+	// Every instrument (including a nil registry's) is nil-receiver safe.
+	s.wall = reg.HDR("service.transfer_wall_seconds", telemetry.WallLatencySpec)
+	return s, nil
+}
+
+// Engine exposes the engine (read-only use: network snapshots).
+func (s *Service) Engine() *core.Engine { return s.eng }
+
+// Submit admits one transfer into the queue. It returns the queued status,
+// or ErrQueueFull / ErrDraining / a validation error naming the reason the
+// submission was refused.
+func (s *Service) Submit(req TransferRequest) (TransferStatus, error) {
+	nreq := network.Request{Src: req.Src, Dst: req.Dst, Messages: req.Messages}
+	if err := nreq.Validate(s.eng.Network()); err != nil {
+		return TransferStatus{}, fmt.Errorf("service: invalid transfer: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tn := s.tenantLocked(req.Tenant)
+	if s.draining {
+		tn.Shed++
+		s.totals.shed++
+		s.shed.Inc()
+		return TransferStatus{}, ErrDraining
+	}
+	if len(s.queue) >= s.cfg.QueueLimit {
+		tn.Shed++
+		s.totals.shed++
+		s.shed.Inc()
+		return TransferStatus{}, ErrQueueFull
+	}
+	s.seq++
+	t := &transfer{
+		status: TransferStatus{
+			ID:       fmt.Sprintf("t-%d", s.seq),
+			Tenant:   req.Tenant,
+			State:    StateQueued,
+			Src:      req.Src,
+			Dst:      req.Dst,
+			Messages: req.Messages,
+		},
+		submitted: time.Now(),
+	}
+	s.queue = append(s.queue, t)
+	s.transfers[t.status.ID] = t
+	tn.Admitted++
+	s.totals.admitted++
+	s.admitted.Inc()
+	s.queueDepth.Set(float64(len(s.queue)))
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return t.status, nil
+}
+
+// Get returns the status of a transfer by ID.
+func (s *Service) Get(id string) (TransferStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.transfers[id]
+	if !ok {
+		return TransferStatus{}, ErrUnknownTransfer
+	}
+	return t.status, nil
+}
+
+// tenantLocked returns the accounting record for a tenant, creating it on
+// first sight. The empty tenant is tracked as "default".
+func (s *Service) tenantLocked(name string) *TenantStats {
+	if name == "" {
+		name = "default"
+	}
+	st, ok := s.tenants[name]
+	if !ok {
+		st = &TenantStats{}
+		s.tenants[name] = st
+	}
+	return st
+}
+
+// Status snapshots the service for the ops plane.
+func (s *Service) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		Draining:   s.draining,
+		QueueDepth: len(s.queue),
+		Admitted:   s.totals.admitted,
+		Completed:  s.totals.completed,
+		Failed:     s.totals.failed,
+		Shed:       s.totals.shed,
+		Epochs:     s.epoch,
+		Tenants:    make(map[string]TenantStats, len(s.tenants)),
+	}
+	for name, ts := range s.tenants {
+		st.Tenants[name] = *ts
+	}
+	if s.wall.Count() > 0 {
+		st.WallP50 = s.wall.Quantile(0.5)
+		st.WallP99 = s.wall.Quantile(0.99)
+	}
+	return st
+}
+
+// StepEpoch synchronously executes one epoch: it takes up to EpochMax queued
+// transfers, plans them with the warm planner, runs the schedule on the
+// parallel engine, and drives every taken transfer to a terminal state. It
+// returns how many transfers it processed (0 = queue empty). Planning or
+// execution errors fail the epoch's transfers — admitted work always reaches
+// a terminal state — and are returned for logging.
+func (s *Service) StepEpoch(ctx context.Context) (int, error) {
+	s.mu.Lock()
+	n := len(s.queue)
+	if n == 0 {
+		s.mu.Unlock()
+		return 0, nil
+	}
+	if n > s.cfg.EpochMax {
+		n = s.cfg.EpochMax
+	}
+	batch := s.queue[:n]
+	s.queue = s.queue[n:]
+	s.queueDepth.Set(float64(len(s.queue)))
+	epoch := s.epoch
+	s.epoch++
+	s.mu.Unlock()
+
+	reqs := make([]network.Request, n)
+	for i, t := range batch {
+		reqs[i] = network.Request{Src: t.status.Src, Dst: t.status.Dst, Messages: t.status.Messages}
+	}
+	sched, err := s.pl.Plan(s.eng.Network(), reqs)
+	if err != nil {
+		s.failBatch(batch, epoch, fmt.Errorf("planning: %w", err))
+		return n, fmt.Errorf("service: epoch %d planning: %w", epoch, err)
+	}
+	res, err := s.eng.ExecuteParallel(ctx, sched, s.src.SplitN("epoch", int(epoch)), s.cfg.Workers)
+	if err != nil {
+		s.failBatch(batch, epoch, fmt.Errorf("execution: %w", err))
+		return n, fmt.Errorf("service: epoch %d execution: %w", epoch, err)
+	}
+	// Greedy repair preserves the request list 1:1 (sched.Requests[i] is
+	// reqs[i]), so outcomes map straight back onto the batch.
+	delivered := make([]int, n)
+	success := make([]int, n)
+	for _, o := range res.Outcomes {
+		if o.Delivered {
+			delivered[o.Request]++
+		}
+		if o.Success {
+			success[o.Request]++
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epochsCtr.Inc()
+	for i, t := range batch {
+		t.status.State = StateCompleted
+		t.status.Epoch = epoch
+		if len(sched.Requests) == n {
+			t.status.AcceptedCodes = sched.Requests[i].Accepted()
+		}
+		t.status.DeliveredCodes = delivered[i]
+		t.status.SuccessCodes = success[i]
+		t.status.WallLatencySeconds = time.Since(t.submitted).Seconds()
+		s.wall.Observe(t.status.WallLatencySeconds)
+		s.tenantLocked(t.status.Tenant).Completed++
+		s.totals.completed++
+		s.completed.Inc()
+	}
+	return n, nil
+}
+
+// failBatch drives a batch to the failed state after an epoch-level error.
+func (s *Service) failBatch(batch []*transfer, epoch int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range batch {
+		t.status.State = StateFailed
+		t.status.Epoch = epoch
+		t.status.Error = err.Error()
+		t.status.WallLatencySeconds = time.Since(t.submitted).Seconds()
+		s.tenantLocked(t.status.Tenant).Failed++
+		s.totals.failed++
+		s.failed.Inc()
+	}
+}
+
+// Run is the daemon's epoch loop: it executes epochs as admissions arrive
+// and, once ctx is cancelled (SIGTERM), drains — refusing new admissions,
+// completing every queued transfer, and only then returning. The returned
+// error is the last epoch error seen during the drain, if any; transfers
+// touched by a failing epoch are in the failed state, never silently
+// dropped.
+func (s *Service) Run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return s.drain()
+		case <-s.wake:
+		}
+		for {
+			// Epochs run to completion even if ctx is cancelled mid-epoch;
+			// cancellation is observed between epochs, at the drain point.
+			n, err := s.StepEpoch(context.Background())
+			if err != nil {
+				return s.drainAfter(err)
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+}
+
+// drain refuses further admissions and completes everything still queued.
+func (s *Service) drain() error { return s.drainAfter(nil) }
+
+func (s *Service) drainAfter(sticky error) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already && s.cfg.DrainHook != nil {
+		s.cfg.DrainHook()
+	}
+	for {
+		n, err := s.StepEpoch(context.Background())
+		if err != nil {
+			sticky = err
+		}
+		if n == 0 {
+			close(s.drained)
+			return sticky
+		}
+	}
+}
+
+// Drained reports whether a drain has fully completed (terminal states
+// reached for every admitted transfer). It is closed by Run's drain path.
+func (s *Service) Drained() <-chan struct{} { return s.drained }

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Service-level perf ledger: run the canonical surfload scenario (1000
+# open-loop Poisson arrivals at 500/s, seed 7) against a freshly launched
+# surfnetd and write the admission-to-completion latency percentiles to
+# BENCH_service.json.
+#
+# Usage:
+#   service_bench.sh            regenerate BENCH_service.json in place
+#   service_bench.sh diff       regenerate to a scratch file and gate it
+#                               against the committed BENCH_service.json
+#                               with cmd/benchdiff
+#
+# Tunables (environment, diff mode):
+#   SERVICE_TOL   ns/op tolerance band (default 3.0 — wall latency of a live
+#                 service varies with host load far more than a micro-
+#                 benchmark, so the band is wide; the percentile extras ride
+#                 along ungated)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-generate}"
+workdir="$(mktemp -d)"
+stderr="$workdir/surfnetd.log"
+trap 'kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/surfnetd" ./cmd/surfnetd
+go build -o "$workdir/surfload" ./cmd/surfload
+
+"$workdir/surfnetd" -listen 127.0.0.1:0 -queue-limit 64 -epoch-max 8 \
+  2>"$stderr" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's/.*observability server listening.*addr=\([0-9.:]*\).*/\1/p' "$stderr" | head -1)"
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "surfnetd exited early"; cat "$stderr"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "no listen addr logged"; cat "$stderr"; exit 1; }
+
+out="BENCH_service.json"
+[ "$mode" = "diff" ] && out="$workdir/BENCH_new.json"
+
+"$workdir/surfload" -addr "$addr" -rate 500 -requests 1000 -seed 7 \
+  -timeout 120s -out "$out" \
+  || { echo "surfload run failed"; cat "$stderr"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" || { echo "surfnetd exited non-zero on drain"; cat "$stderr"; exit 1; }
+
+if [ "$mode" = "diff" ]; then
+  go run ./cmd/benchdiff -tol "${SERVICE_TOL:-3.0}" -bytes-tol 10 -alloc-tol 10 \
+    BENCH_service.json "$out"
+else
+  echo "wrote $out"
+fi
