@@ -4,7 +4,7 @@ GO ?= go
 # pipeline.
 BENCHTIME ?= 1s
 
-.PHONY: build test race vet check bench-json bench-smoke bench-diff bench-save obs-smoke daemon-smoke service-bench
+.PHONY: build test race vet check bench-json bench-smoke bench-diff bench-save obs-smoke daemon-smoke chaos-smoke service-bench
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,12 @@ obs-smoke:
 # mid-load SIGTERM asserting the zero-drop drain (same script CI runs).
 daemon-smoke:
 	./scripts/daemon_smoke.sh
+
+# Chaos variant of the daemon smoke: the live fault plane is armed with the
+# 4x resilience scenario plus a scripted outage, surfload retries against it,
+# and the zero-drop drain is asserted mid-chaos (same script CI runs).
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # Service-level perf gate: rerun the canonical surfload scenario and diff the
 # wall-latency ledger against the committed BENCH_service.json.

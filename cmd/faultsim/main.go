@@ -61,37 +61,6 @@ func parseIntensities(arg string) ([]float64, error) {
 	return out, nil
 }
 
-// parseScript parses the -script timetable: comma-separated
-// SLOT:fiber|node:ID:DURATION entries.
-func parseScript(arg string) ([]surfnet.ScriptedFault, error) {
-	if strings.TrimSpace(arg) == "" {
-		return nil, nil
-	}
-	var script []surfnet.ScriptedFault
-	for _, part := range strings.Split(arg, ",") {
-		fields := strings.Split(strings.TrimSpace(part), ":")
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("bad script entry %q (want SLOT:fiber|node:ID:DURATION)", part)
-		}
-		slot, err1 := strconv.Atoi(fields[0])
-		id, err2 := strconv.Atoi(fields[2])
-		dur, err3 := strconv.Atoi(fields[3])
-		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("bad script entry %q (want SLOT:fiber|node:ID:DURATION)", part)
-		}
-		var node bool
-		switch fields[1] {
-		case "fiber":
-		case "node":
-			node = true
-		default:
-			return nil, fmt.Errorf("bad script target %q (want fiber or node)", fields[1])
-		}
-		script = append(script, surfnet.ScriptedFault{Slot: slot, Duration: dur, Node: node, ID: id})
-	}
-	return script, nil
-}
-
 func run() (exit int) {
 	intensities := flag.String("intensities", "", "comma-separated fault intensities (empty: 0,0.5,1,2,4,8)")
 	trials := flag.Int("trials", 12, "random networks per sweep cell")
@@ -119,7 +88,7 @@ func run() (exit int) {
 		slog.Error("faultsim: bad -intensities", "err", err)
 		return 1
 	}
-	script, err := parseScript(*scriptArg)
+	script, err := surfnet.ParseFaultScript(*scriptArg)
 	if err != nil {
 		slog.Error("faultsim: bad -script", "err", err)
 		return 1

@@ -5,18 +5,25 @@
 //
 // Open-loop means arrivals do not wait for completions: interarrival gaps are
 // drawn exponentially from -rate and each transfer is submitted on its own
-// goroutine at its scheduled instant, then polled to a terminal state. Shed
-// responses (429) and drain refusals (503) are counted, not retried — the
-// daemon's admission control is part of what is being measured.
+// goroutine at its scheduled instant, then polled to a terminal state. By
+// default shed responses (429) and drain refusals (503) are counted, not
+// retried — the daemon's admission control is part of what is being measured.
+// With -retry, a 429 is resubmitted honoring the daemon's Retry-After hint
+// under capped exponential backoff with deterministic jitter, up to
+// -retry-max attempts; retries are reported separately from sheds. Drain
+// refusals (503) are never retried — the daemon is going away.
 //
 // The request mix (src/dst user pairs, message counts, tenants) derives
 // deterministically from -seed; wall-clock latency is whatever the run
-// observes.
+// observes. Transfers can carry the daemon's robustness contract through
+// -deadline (TTL) and -retry-budget (server-side re-queues under faults).
 //
 // Usage:
 //
 //	surfload -addr 127.0.0.1:8080 [-rate 200] [-requests 1000] [-messages 2]
 //	         [-tenants 2] [-seed 1] [-poll 5ms] [-timeout 120s]
+//	         [-retry] [-retry-max 5] [-retry-cap 2s]
+//	         [-deadline D] [-retry-budget N]
 //	         [-out BENCH_service.json]
 package main
 
@@ -31,6 +38,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -44,16 +52,21 @@ func main() {
 
 // transferRequest mirrors the daemon's POST /v1/transfers body.
 type transferRequest struct {
-	Tenant   string `json:"tenant,omitempty"`
-	Src      int    `json:"src"`
-	Dst      int    `json:"dst"`
-	Messages int    `json:"messages"`
+	Tenant      string `json:"tenant,omitempty"`
+	Src         int    `json:"src"`
+	Dst         int    `json:"dst"`
+	Messages    int    `json:"messages"`
+	DeadlineMs  int64  `json:"deadline_ms,omitempty"`
+	RetryBudget int    `json:"retry_budget,omitempty"`
 }
 
 // transferStatus mirrors the daemon's transfer resource.
 type transferStatus struct {
 	ID                 string  `json:"id"`
 	State              string  `json:"state"`
+	FailureClass       string  `json:"failure_class"`
+	AcceptedCodes      int     `json:"accepted_codes"`
+	SuccessCodes       int     `json:"success_codes"`
 	WallLatencySeconds float64 `json:"wall_latency_seconds"`
 }
 
@@ -83,9 +96,38 @@ type report struct {
 
 // result is one transfer's fate as the client saw it.
 type result struct {
-	state    string  // completed | failed | shed | refused | error | timeout
-	wallNs   float64 // daemon-reported admission-to-completion latency
-	clientNs float64 // submit-to-terminal as observed over HTTP
+	state     string  // completed | failed | shed | refused | error | timeout
+	failClass string  // daemon failure class when state is failed
+	retries   int     // client-side 429 resubmissions consumed
+	accepted  int     // surface codes the epoch plan admitted for the transfer
+	success   int     // codes that decoded successfully end to end
+	wallNs    float64 // daemon-reported admission-to-completion latency
+	clientNs  float64 // submit-to-terminal as observed over HTTP
+}
+
+// retryPolicy is the client-side 429 retry contract: up to max resubmissions,
+// each delayed by the server's Retry-After hint scaled 2x per attempt, capped
+// at cap, with deterministic jitter drawn from the transfer's own stream.
+type retryPolicy struct {
+	enabled bool
+	max     int
+	cap     time.Duration
+}
+
+// backoff computes the attempt-th retry delay from the server's Retry-After
+// header (seconds; missing or invalid falls back to 1s).
+func (rp retryPolicy) backoff(retryAfter string, attempt int, src *rng.Source) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(retryAfter))
+	if err != nil || secs < 1 {
+		secs = 1
+	}
+	d := time.Duration(secs) * time.Second << attempt
+	if d > rp.cap || d <= 0 {
+		d = rp.cap
+	}
+	// Jitter in [0.5, 1.0): desynchronizes colliding clients while keeping
+	// the delay sequence deterministic for a fixed seed.
+	return time.Duration(float64(d) * (0.5 + 0.5*src.Float64()))
 }
 
 // quantile reads the q-th quantile from ascending xs (nearest-rank).
@@ -130,49 +172,65 @@ func userNodes(client *http.Client, base string) ([]int, error) {
 	return users, nil
 }
 
-// drive submits one transfer and polls it to a terminal state.
-func drive(client *http.Client, base string, req transferRequest, poll, timeout time.Duration) result {
+// drive submits one transfer — resubmitting shed attempts per the retry
+// policy — and polls it to a terminal state.
+func drive(client *http.Client, base string, req transferRequest, poll, timeout time.Duration, rp retryPolicy, src *rng.Source) result {
 	body, _ := json.Marshal(req)
 	start := time.Now()
-	resp, err := client.Post(base+"/v1/transfers", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return result{state: "error"}
-	}
 	var st transferStatus
-	decErr := json.NewDecoder(resp.Body).Decode(&st)
-	resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusAccepted:
-	case http.StatusTooManyRequests:
-		return result{state: "shed"}
-	case http.StatusServiceUnavailable:
-		return result{state: "refused"}
-	default:
-		return result{state: "error"}
-	}
-	if decErr != nil || st.ID == "" {
-		return result{state: "error"}
+	retries := 0
+	for {
+		resp, err := client.Post(base+"/v1/transfers", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return result{state: "error", retries: retries}
+		}
+		st = transferStatus{}
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			if !rp.enabled || retries >= rp.max {
+				return result{state: "shed", retries: retries}
+			}
+			time.Sleep(rp.backoff(retryAfter, retries, src))
+			retries++
+			continue
+		case http.StatusServiceUnavailable:
+			return result{state: "refused", retries: retries}
+		default:
+			return result{state: "error", retries: retries}
+		}
+		if decErr != nil || st.ID == "" {
+			return result{state: "error", retries: retries}
+		}
+		break
 	}
 	deadline := start.Add(timeout)
 	for {
 		resp, err := client.Get(base + "/v1/transfers/" + st.ID)
 		if err != nil {
-			return result{state: "error"}
+			return result{state: "error", retries: retries}
 		}
 		err = json.NewDecoder(resp.Body).Decode(&st)
 		resp.Body.Close()
 		if err != nil {
-			return result{state: "error"}
+			return result{state: "error", retries: retries}
 		}
 		if st.State == "completed" || st.State == "failed" {
 			return result{
-				state:    st.State,
-				wallNs:   st.WallLatencySeconds * 1e9,
-				clientNs: float64(time.Since(start).Nanoseconds()),
+				state:     st.State,
+				failClass: st.FailureClass,
+				retries:   retries,
+				accepted:  st.AcceptedCodes,
+				success:   st.SuccessCodes,
+				wallNs:    st.WallLatencySeconds * 1e9,
+				clientNs:  float64(time.Since(start).Nanoseconds()),
 			}
 		}
 		if time.Now().After(deadline) {
-			return result{state: "timeout"}
+			return result{state: "timeout", retries: retries}
 		}
 		time.Sleep(poll)
 	}
@@ -187,6 +245,11 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "request-mix seed (pairs, message counts, interarrival gaps)")
 	poll := flag.Duration("poll", 5*time.Millisecond, "status poll interval")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-transfer completion timeout")
+	retry := flag.Bool("retry", false, "resubmit shed (429) transfers honoring Retry-After with capped exponential backoff")
+	retryMax := flag.Int("retry-max", 5, "max client resubmissions per transfer in -retry mode")
+	retryCap := flag.Duration("retry-cap", 2*time.Second, "client retry backoff ceiling in -retry mode")
+	deadlineMs := flag.Duration("deadline", 0, "per-transfer server-side TTL (0: none)")
+	retryBudget := flag.Int("retry-budget", 0, "per-transfer server-side re-queue budget under faults")
 	out := flag.String("out", "", "write a benchjson-schema latency report to this file")
 	flag.Parse()
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
@@ -239,12 +302,15 @@ func run() int {
 		}
 		a, b := users[ai], users[bi]
 		plan[i] = arrival{at: at, req: transferRequest{
-			Tenant:   fmt.Sprintf("tenant-%d", src.IntN(*tenants)),
-			Src:      a,
-			Dst:      b,
-			Messages: 1 + src.IntN(*maxMsgs),
+			Tenant:      fmt.Sprintf("tenant-%d", src.IntN(*tenants)),
+			Src:         a,
+			Dst:         b,
+			Messages:    1 + src.IntN(*maxMsgs),
+			DeadlineMs:  deadlineMs.Milliseconds(),
+			RetryBudget: *retryBudget,
 		}}
 	}
+	rp := retryPolicy{enabled: *retry, max: *retryMax, cap: *retryCap}
 
 	slog.Info("surfload: starting run", "addr", base, "rate", *rate,
 		"requests", *requests, "users", len(users))
@@ -258,27 +324,43 @@ func run() int {
 		wg.Add(1)
 		go func(i int, req transferRequest) {
 			defer wg.Done()
-			results[i] = drive(client, base, req, *poll, *timeout)
+			results[i] = drive(client, base, req, *poll, *timeout, rp, src.SplitN("retry", i))
 		}(i, a.req)
 	}
 	wg.Wait()
 	elapsed := time.Since(begin)
 
 	counts := map[string]int64{}
+	classes := map[string]int64{}
+	var totalRetries, codesAccepted, codesSuccess int64
 	var wall, clientNs []float64
 	for _, r := range results {
 		counts[r.state]++
+		totalRetries += int64(r.retries)
+		codesAccepted += int64(r.accepted)
+		codesSuccess += int64(r.success)
+		if r.state == "failed" && r.failClass != "" {
+			classes[r.failClass]++
+		}
 		if r.state == "completed" {
 			wall = append(wall, r.wallNs)
 			clientNs = append(clientNs, r.clientNs)
 		}
+	}
+	// The paper's communication fidelity at the service level: the fraction
+	// of plan-admitted surface codes that decoded successfully, over every
+	// executed transfer (completed and failed alike).
+	fidelity := 0.0
+	if codesAccepted > 0 {
+		fidelity = float64(codesSuccess) / float64(codesAccepted)
 	}
 	sort.Float64s(wall)
 	sort.Float64s(clientNs)
 	slog.Info("surfload: run finished", "elapsed", elapsed.Round(time.Millisecond),
 		"completed", counts["completed"], "failed", counts["failed"],
 		"shed", counts["shed"], "refused", counts["refused"],
-		"timeout", counts["timeout"], "error", counts["error"])
+		"timeout", counts["timeout"], "error", counts["error"],
+		"retries", totalRetries)
 	if counts["error"] > 0 || counts["timeout"] > 0 {
 		slog.Error("surfload: transfers errored or timed out — daemon dropped load")
 		return 1
@@ -311,11 +393,16 @@ func run() int {
 				"client-p99-ns/op": quantile(clientNs, 0.99),
 				"shed/op":          float64(counts["shed"]),
 				"failed/op":        float64(counts["failed"]),
+				"retries/op":       float64(totalRetries),
+				"fidelity/op":      fidelity,
 			},
 		}},
 	}
-	fmt.Printf("transfers %d completed %d shed %d failed %d\n",
-		len(plan), counts["completed"], counts["shed"], counts["failed"])
+	for class, c := range classes {
+		rep.Benchmarks[0].Extra["failed-"+class+"/op"] = float64(c)
+	}
+	fmt.Printf("transfers %d completed %d shed %d failed %d retries %d fidelity %.3f\n",
+		len(plan), counts["completed"], counts["shed"], counts["failed"], totalRetries, fidelity)
 	fmt.Printf("wall  p50 %.3fms  p90 %.3fms  p99 %.3fms  mean %.3fms\n",
 		quantile(wall, 0.50)/1e6, quantile(wall, 0.90)/1e6, quantile(wall, 0.99)/1e6, mean/1e6)
 	fmt.Printf("client p50 %.3fms  p99 %.3fms\n",

@@ -13,17 +13,28 @@
 //	                         503 draining; 400 invalid)
 //	GET  /v1/transfers/{id}  transfer status
 //	GET  /v1/network         the owned network snapshot
+//	GET  /v1/faults          live fault-plane snapshot
+//	POST /v1/faults          swap the live fault scenario (400 on invalid)
 //	GET  /metrics /healthz /readyz /status /debug/pprof/   ops plane
 //
 // Lifecycle: /readyz stays 503 until the daemon owns network state and the
 // API routes are mounted; SIGINT/SIGTERM flips /readyz back to 503 and drains
 // — every admitted transfer completes its epoch before the process exits.
 //
+// The live fault plane is armed with -faults (the resilience sweep's unit
+// scenario scaled by the given intensity) and/or -fault-script (an exact
+// outage timetable in SLOT:fiber|node:ID:DURATION,... form, stepped on the
+// -fault-tick cadence). Accumulated outage events past -fault-replan-threshold
+// invalidate the planner's warm basis and force an early re-plan; -plan-budget
+// arms the degraded-mode circuit breaker (greedy routing while open).
+//
 // Usage:
 //
 //	surfnetd -listen :8080 [-facilities abundant|sufficient|insufficient]
 //	         [-fidelity good|poor] [-net-seed S] [-seed S]
 //	         [-queue-limit N] [-epoch-max N] [-fiber-fail-prob P]
+//	         [-faults X] [-fault-script SCRIPT] [-fault-tick D]
+//	         [-fault-replan-threshold N] [-plan-budget D] [-breaker-cooldown N]
 //	         [-workers N] [-log-level LEVEL] [-metrics-out FILE] ...
 package main
 
@@ -34,9 +45,11 @@ import (
 	"os"
 	"strings"
 
+	"surfnet"
 	"surfnet/internal/cliutil"
 	"surfnet/internal/core"
 	"surfnet/internal/decoder"
+	"surfnet/internal/experiments"
 	"surfnet/internal/rng"
 	"surfnet/internal/routing"
 	"surfnet/internal/service"
@@ -79,6 +92,12 @@ func run() (exit int) {
 	queueLimit := flag.Int("queue-limit", 0, "admission queue bound; arrivals beyond it are shed with 429 (0: default 256)")
 	epochMax := flag.Int("epoch-max", 0, "max transfers batched into one planning epoch (0: default 32)")
 	fiberFailProb := flag.Float64("fiber-fail-prob", 0, "per-slot fiber crash probability during execution")
+	faultIntensity := flag.Float64("faults", 0, "arm the live fault plane with the resilience scenario at this intensity (0: off)")
+	faultScript := flag.String("fault-script", "", "scripted outage timetable for the live fault plane: SLOT:fiber|node:ID:DURATION,...")
+	faultTick := flag.Duration("fault-tick", 0, "fault-plane step period (0: default 250ms)")
+	faultReplanThreshold := flag.Int("fault-replan-threshold", 0, "outage events before a forced re-plan (0: default 4, negative: never)")
+	planBudget := flag.Duration("plan-budget", 0, "LP plan wall-clock budget; exceeding it trips the greedy circuit breaker (0: no budget)")
+	breakerCooldown := flag.Int("breaker-cooldown", 0, "epochs the circuit breaker stays open (0: default 4)")
 	var obs cliutil.Observability
 	obs.DeferReady = true // not ready until the engine owns state and routes are up
 	obs.Register(flag.CommandLine)
@@ -120,14 +139,36 @@ func run() (exit int) {
 	}
 	pl := routing.NewPlanner(routing.DefaultParams(routing.SurfNet))
 
+	// Assemble the live fault plane scenario: the resilience unit profile
+	// scaled by -faults, with the -fault-script timetable on top. It is
+	// validated against the generated network inside service.New — a script
+	// targeting a fiber the topology does not have is a startup error.
+	var profile *surfnet.FaultProfile
+	if *faultIntensity > 0 || strings.TrimSpace(*faultScript) != "" {
+		p := experiments.ResilienceProfile(*faultIntensity)
+		script, err := surfnet.ParseFaultScript(*faultScript)
+		if err != nil {
+			slog.Error("surfnetd: bad -fault-script", "err", err)
+			return 1
+		}
+		p.Script = script
+		profile = &p
+	}
+
 	srv := obs.ObsServer()
 	svc, err := service.New(eng, pl, service.Config{
-		QueueLimit: *queueLimit,
-		EpochMax:   *epochMax,
-		Workers:    obs.Workers,
-		Seed:       *seed,
-		Metrics:    obs.Registry,
-		DrainHook:  func() { srv.SetReady(false) },
+		QueueLimit:           *queueLimit,
+		EpochMax:             *epochMax,
+		Workers:              obs.Workers,
+		Seed:                 *seed,
+		Metrics:              obs.Registry,
+		Tracer:               obs.TracerOrNil(),
+		DrainHook:            func() { srv.SetReady(false) },
+		Faults:               profile,
+		FaultTick:            *faultTick,
+		FaultReplanThreshold: *faultReplanThreshold,
+		PlanBudget:           *planBudget,
+		BreakerCooldown:      *breakerCooldown,
 	})
 	if err != nil {
 		slog.Error("surfnetd: building service", "err", err)
@@ -140,7 +181,8 @@ func run() (exit int) {
 	srv.SetReady(true)
 	slog.Info("surfnetd: serving",
 		"facilities", fac.Name, "nodes", net.NumNodes(), "fibers", net.NumFibers(),
-		"queue_limit", *queueLimit, "epoch_max", *epochMax)
+		"queue_limit", *queueLimit, "epoch_max", *epochMax,
+		"faults", *faultIntensity, "fault_script", *faultScript != "")
 
 	if err := svc.Run(obs.Context()); err != nil {
 		slog.Error("surfnetd: service loop failed", "err", err)
@@ -149,6 +191,8 @@ func run() (exit int) {
 	st := svc.Status()
 	slog.Info("surfnetd: drained",
 		"admitted", st.Admitted, "completed", st.Completed,
-		"failed", st.Failed, "shed", st.Shed, "epochs", st.Epochs)
+		"failed", st.Failed, "shed", st.Shed, "epochs", st.Epochs,
+		"retries", st.Retries, "degraded_epochs", st.DegradedEpochs,
+		"replans_fault_triggered", st.ReplansFaultTriggered)
 	return 0
 }

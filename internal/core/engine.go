@@ -262,6 +262,12 @@ func (c Config) faultProfile() *faults.Profile {
 	return &p
 }
 
+// FaultScenario resolves the engine's effective fault profile — the explicit
+// Faults profile with the legacy fields folded in, nil when faultless — so
+// callers layering live overlays (the resident service) start from the same
+// base the engine itself would execute under.
+func (c Config) FaultScenario() *faults.Profile { return c.faultProfile() }
+
 // replanEpoch resolves the default re-planning epoch.
 func (c Config) replanEpoch() int {
 	if c.ReplanEpoch == 0 {
@@ -451,7 +457,34 @@ func (e *Engine) Execute(sched routing.Schedule, src *rng.Source) (RunResult, er
 // worker-invariance contract daemon-admitted transfers inherit. ctx cancels
 // between codes; workers <= 0 selects GOMAXPROCS.
 func (e *Engine) ExecuteParallel(ctx context.Context, sched routing.Schedule, src *rng.Source, workers int) (RunResult, error) {
-	if err := e.cfg.validateSchedule(sched); err != nil {
+	return e.executeParallel(ctx, sched, src, workers, e.cfg)
+}
+
+// ExecuteParallelFaults runs like ExecuteParallel but substitutes the fault
+// profile for this call only — the resident daemon's live fault plane hands
+// each epoch a fresh profile (its static outage overlay merged over the
+// engine's configured scenario) without rebuilding the engine. A nil profile
+// removes all faults for the call. The profile is validated against the
+// engine's network, so an out-of-range fiber or node surfaces here as an
+// error instead of panicking mid-epoch.
+func (e *Engine) ExecuteParallelFaults(ctx context.Context, sched routing.Schedule, src *rng.Source, workers int, profile *faults.Profile) (RunResult, error) {
+	cfg := e.cfg
+	cfg.Faults = profile
+	// The per-call profile replaces the configured scenario outright; drop
+	// the legacy fields so faultProfile cannot fold them back in.
+	cfg.FiberFailProb, cfg.RepairSlots = 0, 0
+	if profile != nil {
+		if err := profile.ValidateAgainst(e.net); err != nil {
+			return RunResult{}, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+	}
+	return e.executeParallel(ctx, sched, src, workers, cfg)
+}
+
+// executeParallel is the shared worker-pool body of ExecuteParallel and
+// ExecuteParallelFaults.
+func (e *Engine) executeParallel(ctx context.Context, sched routing.Schedule, src *rng.Source, workers int, cfg Config) (RunResult, error) {
+	if err := cfg.validateSchedule(sched); err != nil {
 		return RunResult{}, err
 	}
 	type codeJob struct {
@@ -478,7 +511,7 @@ func (e *Engine) ExecuteParallel(ctx context.Context, sched routing.Schedule, sr
 	outcomes, err := sim.Run(ctx, len(jobs), workers, func(i int, _ *sim.Worker) (Outcome, error) {
 		j := jobs[i]
 		stream := src.SplitN(fmt.Sprintf("req%d", j.ri), j.ci)
-		o, err := runOne(e.net, sched, e.cfg, j.code, j.req, j.cr, stream, j.ri, j.ci)
+		o, err := runOne(e.net, sched, cfg, j.code, j.req, j.cr, stream, j.ri, j.ci)
 		if err != nil {
 			return Outcome{}, fmt.Errorf("request %d code %d: %w", j.ri, j.ci, err)
 		}

@@ -47,12 +47,24 @@ type Profile struct {
 	// Script is an exact outage timetable applied on top of the stochastic
 	// scenarios.
 	Script []ScriptedFault
+
+	// DownFibers, DownNodes, and GammaScale form the static overlay: the
+	// listed fibers and nodes are down for the whole transfer, and fiber fi's
+	// nominal fidelity is multiplied by GammaScale[fi]. A resident control
+	// plane snapshots its live fault state into these fields at each epoch
+	// boundary so every transfer of the epoch sees one consistent network,
+	// while the stochastic components above stay per-transfer Monte Carlo.
+	// The overlay consumes no randomness, keeping runs worker-invariant.
+	DownFibers []int
+	DownNodes  []int
+	GammaScale map[int]float64
 }
 
 // Enabled reports whether the profile injects any fault at all.
 func (p Profile) Enabled() bool {
 	return p.FiberCrashProb > 0 || p.NodeOutageProb > 0 || p.RegionalProb > 0 ||
-		p.DriftProb > 0 || len(p.Script) > 0
+		p.DriftProb > 0 || len(p.Script) > 0 ||
+		len(p.DownFibers) > 0 || len(p.DownNodes) > 0 || len(p.GammaScale) > 0
 }
 
 // driftWindow resolves the default episode length.
@@ -106,6 +118,21 @@ func (p Profile) Validate() error {
 				ErrProfile, i, ev.Slot, ev.Duration, ev.ID)
 		}
 	}
+	for _, fi := range p.DownFibers {
+		if fi < 0 {
+			return fmt.Errorf("%w: overlay fiber %d < 0", ErrProfile, fi)
+		}
+	}
+	for _, v := range p.DownNodes {
+		if v < 0 {
+			return fmt.Errorf("%w: overlay node %d < 0", ErrProfile, v)
+		}
+	}
+	for fi, g := range p.GammaScale {
+		if fi < 0 || g < 0 || g > 1 {
+			return fmt.Errorf("%w: overlay gamma scale %v on fiber %d", ErrProfile, g, fi)
+		}
+	}
 	return nil
 }
 
@@ -121,6 +148,21 @@ func (p Profile) ValidateAgainst(net *network.Network) error {
 		}
 		if !ev.Node && ev.ID >= net.NumFibers() {
 			return fmt.Errorf("%w: script event %d targets fiber %d of %d", ErrProfile, i, ev.ID, net.NumFibers())
+		}
+	}
+	for _, fi := range p.DownFibers {
+		if fi >= net.NumFibers() {
+			return fmt.Errorf("%w: overlay targets fiber %d of %d", ErrProfile, fi, net.NumFibers())
+		}
+	}
+	for _, v := range p.DownNodes {
+		if v >= net.NumNodes() {
+			return fmt.Errorf("%w: overlay targets node %d of %d", ErrProfile, v, net.NumNodes())
+		}
+	}
+	for fi := range p.GammaScale {
+		if fi >= net.NumFibers() {
+			return fmt.Errorf("%w: overlay gamma scale targets fiber %d of %d", ErrProfile, fi, net.NumFibers())
 		}
 	}
 	return nil
@@ -141,5 +183,6 @@ func (p Profile) Build(net *network.Network) Injector {
 		NewRegional(net, p.RegionalProb, p.RegionalRepairSlots),
 		NewDrift(p.DriftProb, p.driftWindow(), p.driftDecay()),
 		NewScripted(p.Script),
+		NewStatic(p.DownFibers, p.DownNodes, p.GammaScale),
 	)
 }

@@ -1,0 +1,60 @@
+package faults
+
+// static is the overlay injector behind a control plane's live network view:
+// a fixed set of down fibers and nodes plus per-fiber fidelity scales, with no
+// randomness and no evolution. A resident daemon snapshots its fault plane at
+// an epoch boundary and hands the snapshot to every transfer of that epoch, so
+// all transfers see one consistent network state — unlike the stochastic
+// scenarios, which evolve independently per transfer.
+type static struct {
+	fiberDown map[int]bool
+	nodeDown  map[int]bool
+	gamma     map[int]float64
+}
+
+// NewStatic returns the static overlay injector: the listed fibers and nodes
+// are down for the whole transfer, and each fiber fi in gamma has its nominal
+// fidelity multiplied by gamma[fi]. It returns nil when the overlay is empty.
+// Step consumes no randomness, so overlaid runs stay worker-invariant.
+func NewStatic(downFibers, downNodes []int, gamma map[int]float64) Injector {
+	if len(downFibers) == 0 && len(downNodes) == 0 && len(gamma) == 0 {
+		return nil
+	}
+	s := &static{
+		fiberDown: make(map[int]bool, len(downFibers)),
+		nodeDown:  make(map[int]bool, len(downNodes)),
+	}
+	for _, fi := range downFibers {
+		s.fiberDown[fi] = true
+	}
+	for _, v := range downNodes {
+		s.nodeDown[v] = true
+	}
+	if len(gamma) > 0 {
+		s.gamma = make(map[int]float64, len(gamma))
+		for fi, g := range gamma {
+			s.gamma[fi] = g
+		}
+	}
+	return s
+}
+
+// Step implements Injector: static state never transitions, so there is
+// nothing to sample or report.
+func (s *static) Step(Scope, func(Event)) {}
+
+// FiberDown implements Injector.
+func (s *static) FiberDown(fi int) bool { return s.fiberDown[fi] }
+
+// NodeDown implements Injector.
+func (s *static) NodeDown(v int) bool { return s.nodeDown[v] }
+
+// Gamma implements Injector. Fibers outside the overlay pass through
+// unchanged (no floating-point rewriting).
+func (s *static) Gamma(fi int, gamma float64) float64 {
+	scale, ok := s.gamma[fi]
+	if !ok {
+		return gamma
+	}
+	return gamma * scale
+}

@@ -143,3 +143,10 @@ type FaultProfile = faults.Profile
 
 // ScriptedFault is one entry of an exact outage timetable.
 type ScriptedFault = faults.ScriptedFault
+
+// ParseFaultScript parses a scripted outage timetable from its textual form
+// (comma-separated SLOT:fiber|node:ID:DURATION entries), shared by the
+// faultsim -script and surfnetd -fault-script flags.
+func ParseFaultScript(arg string) ([]ScriptedFault, error) {
+	return faults.ParseScript(arg)
+}
