@@ -4,7 +4,7 @@ GO ?= go
 # pipeline.
 BENCHTIME ?= 1s
 
-.PHONY: build test race vet check bench-json bench-smoke bench-diff bench-save obs-smoke daemon-smoke chaos-smoke service-bench
+.PHONY: build test race vet check bench-json bench-smoke bench-diff bench-save obs-smoke daemon-smoke chaos-smoke flight-smoke service-bench
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,13 @@ daemon-smoke:
 # and the zero-drop drain is asserted mid-chaos (same script CI runs).
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# Flight-recorder smoke: surfnetd under chaos with trace sampling, a trace
+# fetched mid-chaos asserting the segment-attribution sum contract, the
+# /debug/bundle shape, flightview rendering, and the segment HDR families on
+# /metrics (same script CI runs).
+flight-smoke:
+	./scripts/flight_smoke.sh
 
 # Service-level perf gate: rerun the canonical surfload scenario and diff the
 # wall-latency ledger against the committed BENCH_service.json.

@@ -23,8 +23,13 @@
 //	surfload -addr 127.0.0.1:8080 [-rate 200] [-requests 1000] [-messages 2]
 //	         [-tenants 2] [-seed 1] [-poll 5ms] [-timeout 120s]
 //	         [-retry] [-retry-max 5] [-retry-cap 2s]
-//	         [-deadline D] [-retry-budget N]
+//	         [-deadline D] [-retry-budget N] [-sample-traces N]
 //	         [-out BENCH_service.json]
+//
+// With -sample-traces N the driver pulls GET /v1/transfers/{id}/trace for the
+// N slowest completions after the run and folds their per-segment latency
+// attribution (queue_wait, plan, execute, retry_backoff, fault_stall) into
+// the report's extras — the incident-debugging view, ledgered.
 package main
 
 import (
@@ -96,6 +101,7 @@ type report struct {
 
 // result is one transfer's fate as the client saw it.
 type result struct {
+	id        string  // daemon-assigned transfer ID (empty if never admitted)
 	state     string  // completed | failed | shed | refused | error | timeout
 	failClass string  // daemon failure class when state is failed
 	retries   int     // client-side 429 resubmissions consumed
@@ -103,6 +109,53 @@ type result struct {
 	success   int     // codes that decoded successfully end to end
 	wallNs    float64 // daemon-reported admission-to-completion latency
 	clientNs  float64 // submit-to-terminal as observed over HTTP
+}
+
+// flightTrace mirrors GET /v1/transfers/{id}/trace, reduced to the
+// attribution the driver aggregates.
+type flightTrace struct {
+	ID       string `json:"id"`
+	Segments []struct {
+		Class  string `json:"class"`
+		WallNs int64  `json:"wall_ns"`
+	} `json:"segments"`
+	TotalWallNs int64 `json:"total_wall_ns"`
+}
+
+// sampleSlowTraces pulls flight traces for the n slowest completed transfers
+// and aggregates their per-segment wall time. It returns the summed ns per
+// segment class and how many traces were actually fetched (the daemon may
+// run with flight recording disabled — sampling then degrades to zero).
+func sampleSlowTraces(client *http.Client, base string, results []result, n int) (map[string]float64, int) {
+	completed := make([]result, 0, len(results))
+	for _, r := range results {
+		if r.state == "completed" && r.id != "" {
+			completed = append(completed, r)
+		}
+	}
+	sort.Slice(completed, func(i, j int) bool { return completed[i].wallNs > completed[j].wallNs })
+	if n > len(completed) {
+		n = len(completed)
+	}
+	segNs := map[string]float64{}
+	fetched := 0
+	for _, r := range completed[:n] {
+		resp, err := client.Get(base + "/v1/transfers/" + r.id + "/trace")
+		if err != nil {
+			continue
+		}
+		var tr flightTrace
+		decErr := json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			continue
+		}
+		for _, seg := range tr.Segments {
+			segNs[seg.Class] += float64(seg.WallNs)
+		}
+		fetched++
+	}
+	return segNs, fetched
 }
 
 // retryPolicy is the client-side 429 retry contract: up to max resubmissions,
@@ -220,6 +273,7 @@ func drive(client *http.Client, base string, req transferRequest, poll, timeout 
 		}
 		if st.State == "completed" || st.State == "failed" {
 			return result{
+				id:        st.ID,
 				state:     st.State,
 				failClass: st.FailureClass,
 				retries:   retries,
@@ -250,6 +304,7 @@ func run() int {
 	retryCap := flag.Duration("retry-cap", 2*time.Second, "client retry backoff ceiling in -retry mode")
 	deadlineMs := flag.Duration("deadline", 0, "per-transfer server-side TTL (0: none)")
 	retryBudget := flag.Int("retry-budget", 0, "per-transfer server-side re-queue budget under faults")
+	traceN := flag.Int("sample-traces", 0, "pull flight traces for the N slowest completions and emit segment-attribution extras")
 	out := flag.String("out", "", "write a benchjson-schema latency report to this file")
 	flag.Parse()
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
@@ -400,6 +455,29 @@ func run() int {
 	}
 	for class, c := range classes {
 		rep.Benchmarks[0].Extra["failed-"+class+"/op"] = float64(c)
+	}
+	if *traceN > 0 {
+		// Segment attribution over the slowest completions: where their
+		// admission-to-completion time actually went, per the daemon's own
+		// flight recorder. Extras are mean ns per sampled transfer.
+		segNs, fetched := sampleSlowTraces(client, base, results, *traceN)
+		rep.Benchmarks[0].Extra["traces-sampled/op"] = float64(fetched)
+		if fetched > 0 {
+			var parts []string
+			classes := make([]string, 0, len(segNs))
+			for class := range segNs {
+				classes = append(classes, class)
+			}
+			sort.Strings(classes)
+			for _, class := range classes {
+				mean := segNs[class] / float64(fetched)
+				rep.Benchmarks[0].Extra["seg-"+class+"-ns/op"] = mean
+				parts = append(parts, fmt.Sprintf("%s %.3fms", class, mean/1e6))
+			}
+			fmt.Printf("slowest-%d attribution  %s\n", fetched, strings.Join(parts, "  "))
+		} else {
+			slog.Warn("surfload: -sample-traces requested but no traces fetched (flight recording disabled?)")
+		}
 	}
 	fmt.Printf("transfers %d completed %d shed %d failed %d retries %d fidelity %.3f\n",
 		len(plan), counts["completed"], counts["shed"], counts["failed"], totalRetries, fidelity)

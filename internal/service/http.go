@@ -11,12 +11,19 @@ import (
 
 // API is the service's HTTP/JSON surface:
 //
-//	POST /v1/transfers       admit a transfer (202; 429 shed + Retry-After;
-//	                         503 draining; 400 invalid)
-//	GET  /v1/transfers/{id}  transfer status (200; 404 unknown)
-//	GET  /v1/network         network snapshot (nodes, fibers, roles)
-//	GET  /v1/faults          live fault-plane snapshot + armed scenario
-//	POST /v1/faults          swap the live fault scenario (200; 400 invalid)
+//	POST /v1/transfers             admit a transfer (202; 429 shed +
+//	                               Retry-After; 503 draining; 400 invalid)
+//	GET  /v1/transfers/{id}        transfer status (200; 404 unknown)
+//	GET  /v1/transfers/{id}/trace  flight timeline + latency attribution
+//	                               (200; 404 unknown or recording disabled)
+//	GET  /v1/network               network snapshot (nodes, fibers, roles)
+//	GET  /v1/faults                live fault-plane snapshot + armed scenario
+//	POST /v1/faults                swap the live fault scenario (200; 400)
+//	GET  /debug/bundle             one-shot incident snapshot (status,
+//	                               metrics, faults, last-N terminal flights)
+//
+// Every non-2xx response under /v1/ carries the JSON error envelope — a
+// catch-all turns the mux's bare 404s on unmatched /v1/ paths into it too.
 //
 // RegisterRoutes mounts these on any mux-like mount function — in the
 // daemon, the obs.Server's mux, so the ops plane and the serving plane share
@@ -24,9 +31,19 @@ import (
 func (s *Service) RegisterRoutes(mount func(pattern string, h http.Handler)) {
 	mount("POST /v1/transfers", http.HandlerFunc(s.handleSubmit))
 	mount("GET /v1/transfers/{id}", http.HandlerFunc(s.handleGet))
+	mount("GET /v1/transfers/{id}/trace", http.HandlerFunc(s.handleTrace))
 	mount("GET /v1/network", http.HandlerFunc(s.handleNetwork))
 	mount("GET /v1/faults", http.HandlerFunc(s.handleGetFaults))
 	mount("POST /v1/faults", http.HandlerFunc(s.handleSetFaults))
+	mount("GET /debug/bundle", http.HandlerFunc(s.handleBundle))
+	mount("/v1/", http.HandlerFunc(handleNotFound))
+}
+
+// handleNotFound keeps unmatched /v1/ paths on the JSON error envelope
+// instead of the mux's bare text 404. (Method mismatches on registered /v1/
+// paths land here too, as 404s — the envelope wins over 405 fidelity.)
+func handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusNotFound, errorBody{Error: "service: no such endpoint: " + r.Method + " " + r.URL.Path})
 }
 
 // errorBody is the JSON error envelope of every non-2xx response.
@@ -71,6 +88,19 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, err := s.Trace(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+func (s *Service) handleBundle(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Bundle())
 }
 
 // FaultRequest is the POST /v1/faults body: the declarative fault scenario in

@@ -113,6 +113,17 @@ type Config struct {
 	// BreakerCooldown is how many epochs the breaker stays open after
 	// tripping. Zero selects 4.
 	BreakerCooldown int
+
+	// FlightEvents bounds each transfer's flight-recorder event ring. Zero
+	// selects 64; negative disables flight recording entirely (traces and
+	// /debug/bundle flights 404, latency falls back to coarse wall math).
+	FlightEvents int
+	// FlightRetain bounds how many terminal flights the recorder keeps for
+	// /debug/bundle. Zero selects 32; negative retains none.
+	FlightRetain int
+	// FlightClock is the clock flight events and transfer deadlines read.
+	// Nil selects time.Now; tests inject a deterministic clock.
+	FlightClock func() time.Time
 }
 
 func (c *Config) fill() {
@@ -216,6 +227,9 @@ type transfer struct {
 	deadline    time.Time // zero: no deadline
 	retryBudget int
 	notBefore   int64 // earliest epoch a scheduled retry may run in
+	// flight is the transfer's lifecycle event ring (nil when flight
+	// recording is disabled).
+	flight *telemetry.Flight
 }
 
 // TenantStats is the per-tenant admission accounting /status reports.
@@ -264,6 +278,34 @@ type Status struct {
 	// seconds over completed transfers.
 	WallP50 float64 `json:"wall_p50_seconds"`
 	WallP99 float64 `json:"wall_p99_seconds"`
+	// Queue reports queue pressure beyond the instantaneous depth — sampled
+	// depth and queue-wait quantiles make shedding onset visible before
+	// 429s start.
+	Queue *QueueStatus `json:"queue,omitempty"`
+	// Attribution summarizes the per-segment latency HDRs over terminal
+	// transfers: where admission-to-terminal time actually went.
+	Attribution map[string]SegmentStats `json:"attribution,omitempty"`
+}
+
+// QueueStatus is the queue-pressure block of Status.
+type QueueStatus struct {
+	// Depth is the instantaneous queue depth.
+	Depth int `json:"depth"`
+	// Samples counts depth observations (one per admission and per epoch
+	// batch take); DepthP50/P99 are quantiles over them.
+	Samples  int64   `json:"samples,omitempty"`
+	DepthP50 float64 `json:"depth_p50,omitempty"`
+	DepthP99 float64 `json:"depth_p99,omitempty"`
+	// WaitP50/P99Seconds are admission-to-first-dispatch wall quantiles.
+	WaitP50Seconds float64 `json:"wait_p50_seconds,omitempty"`
+	WaitP99Seconds float64 `json:"wait_p99_seconds,omitempty"`
+}
+
+// SegmentStats summarizes one attributed segment class across transfers.
+type SegmentStats struct {
+	Count      int64   `json:"count"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 }
 
 // Service is the resident control plane. Construct with New, serve its HTTP
@@ -295,6 +337,17 @@ type Service struct {
 	queueDepth     *telemetry.Gauge
 	wall           *telemetry.HDR
 	epochWall      *telemetry.HDR
+	queueWait      *telemetry.HDR
+	queueDepthHist *telemetry.Histogram
+	// segWall holds one wall HDR per attribution segment class; tenantWall
+	// one per tenant (bounded; overflow tenants share "other").
+	segWall    map[string]*telemetry.HDR
+	tenantWall map[string]*telemetry.HDR
+
+	// recorder starts per-transfer flight event rings; nil when disabled.
+	// now is the service clock (injectable for deterministic tests).
+	recorder *telemetry.FlightRecorder
+	now      func() time.Time
 
 	wake chan struct{}
 
@@ -365,6 +418,20 @@ func New(eng *core.Engine, pl *routing.Planner, cfg Config) (*Service, error) {
 	// Every instrument (including a nil registry's) is nil-receiver safe.
 	s.wall = reg.HDR("service.transfer_wall_seconds", telemetry.WallLatencySpec)
 	s.epochWall = reg.HDR("service.epoch_wall_seconds", telemetry.WallLatencySpec)
+	s.queueWait = reg.HDR("service.queue_wait_wall_seconds", telemetry.WallLatencySpec)
+	s.queueDepthHist = reg.Histogram("service.queue_depth_sampled", telemetry.ExpBuckets(1, 2, 13))
+	s.segWall = make(map[string]*telemetry.HDR, len(segmentClasses))
+	for _, class := range segmentClasses {
+		s.segWall[class] = reg.HDR("service.segment_"+class+"_wall_seconds", telemetry.WallLatencySpec)
+	}
+	s.tenantWall = make(map[string]*telemetry.HDR)
+	s.now = cfg.FlightClock
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if cfg.FlightEvents >= 0 {
+		s.recorder = telemetry.NewFlightRecorder(cfg.FlightEvents, cfg.FlightRetain, cfg.FlightClock)
+	}
 	s.totals.failedByClass = make(map[string]int64)
 	var profile faults.Profile
 	if cfg.Faults != nil {
@@ -411,7 +478,7 @@ func (s *Service) Submit(req TransferRequest) (TransferStatus, error) {
 		return TransferStatus{}, ErrQueueFull
 	}
 	s.seq++
-	now := time.Now()
+	now := s.now()
 	t := &transfer{
 		status: TransferStatus{
 			ID:       fmt.Sprintf("t-%d", s.seq),
@@ -429,10 +496,14 @@ func (s *Service) Submit(req TransferRequest) (TransferStatus, error) {
 	}
 	s.queue = append(s.queue, t)
 	s.transfers[t.status.ID] = t
+	t.flight = s.recorder.Start(t.status.ID)
+	t.flight.Record(telemetry.FlightAdmitted, s.epoch, 0, 0, 0, "")
+	t.flight.Record(telemetry.FlightQueueEnter, s.epoch, int64(len(s.queue)), 0, 0, "")
 	tn.Admitted++
 	s.totals.admitted++
 	s.admitted.Inc()
 	s.queueDepth.Set(float64(len(s.queue)))
+	s.queueDepthHist.Observe(float64(len(s.queue)))
 	s.wakeUp()
 	return t.status, nil
 }
@@ -526,6 +597,31 @@ func (s *Service) Status() Status {
 		st.WallP50 = s.wall.Quantile(0.5)
 		st.WallP99 = s.wall.Quantile(0.99)
 	}
+	// Empty instruments report NaN quantiles, which JSON cannot encode —
+	// every quantile below is guarded by its count.
+	st.Queue = &QueueStatus{Depth: len(s.queue), Samples: s.queueDepthHist.Count()}
+	if s.queueDepthHist.Count() > 0 {
+		st.Queue.DepthP50 = s.queueDepthHist.Quantile(0.5)
+		st.Queue.DepthP99 = s.queueDepthHist.Quantile(0.99)
+	}
+	if s.queueWait.Count() > 0 {
+		st.Queue.WaitP50Seconds = s.queueWait.Quantile(0.5)
+		st.Queue.WaitP99Seconds = s.queueWait.Quantile(0.99)
+	}
+	for _, class := range segmentClasses {
+		h := s.segWall[class]
+		if h.Count() == 0 {
+			continue
+		}
+		if st.Attribution == nil {
+			st.Attribution = make(map[string]SegmentStats)
+		}
+		st.Attribution[class] = SegmentStats{
+			Count:      h.Count(),
+			P50Seconds: h.Quantile(0.5),
+			P99Seconds: h.Quantile(0.99),
+		}
+	}
 	return st
 }
 
@@ -608,8 +704,18 @@ func (s *Service) StepEpoch(ctx context.Context) (int, error) {
 	batch := s.queue[:n]
 	s.queue = s.queue[n:]
 	s.queueDepth.Set(float64(len(s.queue)))
+	s.queueDepthHist.Observe(float64(len(s.queue)))
 	epoch := s.epoch
 	s.epoch++
+	dispatch := s.now()
+	for _, t := range batch {
+		t.flight.Record(telemetry.FlightQueueExit, epoch, int64(len(s.queue)), 0, 0, "")
+		t.flight.Record(telemetry.FlightEpochAssigned, epoch, epoch, 0, 0, "")
+		if t.status.Retries == 0 {
+			// First dispatch: everything since admission was queue wait.
+			s.queueWait.Observe(dispatch.Sub(t.submitted).Seconds())
+		}
+	}
 	faultTrig := s.faultTriggered
 	s.faultTriggered = false
 	breakerOpen := s.breakerUntil > epoch
@@ -628,7 +734,7 @@ func (s *Service) StepEpoch(ctx context.Context) (int, error) {
 	start := time.Now()
 	// Deadline sweep: a transfer whose TTL has already expired fails now,
 	// terminally — retry budget does not resurrect missed deadlines.
-	now := time.Now()
+	now := s.now()
 	live := make([]*transfer, 0, len(batch))
 	var expired []*transfer
 	for _, t := range batch {
@@ -659,12 +765,21 @@ func (s *Service) StepEpoch(ctx context.Context) (int, error) {
 	// what it knows is down, while execution still samples per-transfer
 	// stochastic faults on top of the same overlay.
 	overlay := s.plane.State()
+	if overlay.Outaged() {
+		for _, t := range live {
+			t.flight.Record(telemetry.FlightFaultCoincident, epoch,
+				int64(len(overlay.DownFibers)), int64(len(overlay.DownNodes)), 0, "")
+		}
+	}
 	planNet := overlay.Mask(s.eng.Network())
-	sched, err := s.planEpoch(planNet, reqs, epoch, breakerOpen)
+	sched, mode, err := s.planEpoch(planNet, reqs, epoch, breakerOpen)
 	if err != nil {
 		s.settleFailures(live, epoch, FailNoPath, fmt.Errorf("planning: %w", err))
 		s.epochWall.Observe(time.Since(start).Seconds())
 		return n, fmt.Errorf("service: epoch %d planning: %w", epoch, err)
+	}
+	for _, t := range live {
+		t.flight.Record(telemetry.FlightPlanned, epoch, int64(len(live)), 0, 0, mode)
 	}
 	res, err := s.execute(ctx, sched, epoch, overlay)
 	if err != nil {
@@ -693,6 +808,16 @@ func (s *Service) StepEpoch(ctx context.Context) (int, error) {
 		}
 		t.status.DeliveredCodes = delivered[i]
 		t.status.SuccessCodes = success[i]
+		t.flight.Record(telemetry.FlightExecuted, epoch,
+			int64(t.status.AcceptedCodes), int64(delivered[i]), int64(success[i]), "")
+		if t.status.AcceptedCodes > 0 {
+			verdict := "failed"
+			if success[i] > 0 {
+				verdict = "ok"
+			}
+			t.flight.Record(telemetry.FlightDecodeVerdict, epoch,
+				int64(delivered[i]), int64(success[i]), 0, verdict)
+		}
 		switch {
 		case t.status.AcceptedCodes == 0:
 			s.retryOrFailLocked(t, epoch, FailNoPath, "service: no feasible path admitted")
@@ -704,8 +829,9 @@ func (s *Service) StepEpoch(ctx context.Context) (int, error) {
 			t.status.State = StateCompleted
 			t.status.FailureClass = ""
 			t.status.Error = ""
-			t.status.WallLatencySeconds = time.Since(t.submitted).Seconds()
+			s.terminalFlightLocked(t, epoch, "completed")
 			s.wall.Observe(t.status.WallLatencySeconds)
+			s.tenantWallLocked(t.status.Tenant).Observe(t.status.WallLatencySeconds)
 			s.tenantLocked(t.status.Tenant).Completed++
 			s.totals.completed++
 			s.completed.Inc()
@@ -716,21 +842,37 @@ func (s *Service) StepEpoch(ctx context.Context) (int, error) {
 	return n, nil
 }
 
-// planEpoch schedules one epoch's requests. With the breaker open it routes
-// greedy outright; otherwise it runs the warm LP planner under PlanBudget and
-// trips the breaker on an error (greedy fallback now) or an over-budget solve
-// (the slow-but-valid schedule is still used; the cooldown epochs degrade).
-func (s *Service) planEpoch(net *network.Network, reqs []network.Request, epoch int64, breakerOpen bool) (routing.Schedule, error) {
+// Plan modes, reported on the flights' planned events: warm reused the LP
+// basis, cold solved from scratch, degraded routed greedy (breaker open or
+// plan-error fallback).
+const (
+	planModeWarm     = "warm"
+	planModeCold     = "cold"
+	planModeDegraded = "degraded"
+)
+
+// planEpoch schedules one epoch's requests and reports the plan mode. With
+// the breaker open it routes greedy outright; otherwise it runs the warm LP
+// planner under PlanBudget and trips the breaker on an error (greedy fallback
+// now) or an over-budget solve (the slow-but-valid schedule is still used;
+// the cooldown epochs degrade).
+func (s *Service) planEpoch(net *network.Network, reqs []network.Request, epoch int64, breakerOpen bool) (routing.Schedule, string, error) {
 	if breakerOpen {
 		s.degradedEpoch()
-		return routing.Greedy(net, reqs, s.pl.Params(), nil, nil)
+		sched, err := routing.Greedy(net, reqs, s.pl.Params(), nil, nil)
+		return sched, planModeDegraded, err
 	}
 	s.degradedGauge.Set(0)
+	hits0, _ := s.pl.WarmStats()
 	planStart := time.Now()
 	sched, err := s.pl.Plan(net, reqs)
 	overBudget := s.cfg.PlanBudget > 0 && time.Since(planStart) > s.cfg.PlanBudget
+	mode := planModeCold
+	if hits1, _ := s.pl.WarmStats(); hits1 > hits0 {
+		mode = planModeWarm
+	}
 	if err == nil && !overBudget {
-		return sched, nil
+		return sched, mode, nil
 	}
 	s.mu.Lock()
 	s.breakerUntil = epoch + 1 + int64(s.cfg.BreakerCooldown)
@@ -744,10 +886,11 @@ func (s *Service) planEpoch(net *network.Network, reqs []network.Request, epoch 
 		s.cfg.Tracer.Emit(telemetry.Ev("service.breaker_open", "reason", reason, "epoch", epoch))
 	}
 	if err == nil {
-		return sched, nil
+		return sched, mode, nil
 	}
 	s.degradedEpoch()
-	return routing.Greedy(net, reqs, s.pl.Params(), nil, nil)
+	sched, gerr := routing.Greedy(net, reqs, s.pl.Params(), nil, nil)
+	return sched, planModeDegraded, gerr
 }
 
 // degradedEpoch accounts one epoch routed in degraded (greedy) mode.
@@ -808,7 +951,7 @@ func (s *Service) promoteRetriesLocked() {
 // passed, and the service is not draining; otherwise finalize the failure.
 func (s *Service) retryOrFailLocked(t *transfer, epoch int64, class, msg string) {
 	if !s.draining && t.status.Retries < t.retryBudget &&
-		(t.deadline.IsZero() || time.Now().Before(t.deadline)) {
+		(t.deadline.IsZero() || s.now().Before(t.deadline)) {
 		t.status.Retries++
 		t.status.State = StateRetrying
 		t.status.FailureClass = class
@@ -818,6 +961,7 @@ func (s *Service) retryOrFailLocked(t *transfer, epoch int64, class, msg string)
 			backoff = retryBackoffCap
 		}
 		t.notBefore = epoch + backoff
+		t.flight.Record(telemetry.FlightRetryScheduled, epoch, backoff, t.notBefore, 0, class)
 		s.retryQ = append(s.retryQ, t)
 		s.totals.retries++
 		s.retriesCtr.Inc()
@@ -833,7 +977,7 @@ func (s *Service) finalizeFailureLocked(t *transfer, epoch int64, class, msg str
 	t.status.Epoch = epoch
 	t.status.FailureClass = class
 	t.status.Error = msg
-	t.status.WallLatencySeconds = time.Since(t.submitted).Seconds()
+	s.terminalFlightLocked(t, epoch, class)
 	tn := s.tenantLocked(t.status.Tenant)
 	tn.Failed++
 	if tn.FailedByClass == nil {
@@ -851,6 +995,55 @@ func (s *Service) finalizeFailureLocked(t *transfer, epoch int64, class, msg str
 	case FailDecode:
 		s.failedDecode.Inc()
 	}
+}
+
+// terminalFlightLocked stamps a transfer's terminal flight event, derives its
+// admission-to-terminal wall latency from the flight's own stamps (so /trace
+// segment sums match WallLatencySeconds exactly), feeds the per-segment wall
+// HDRs, and retires the flight into the recorder's incident window. With
+// flight recording disabled it falls back to coarse clock math.
+func (s *Service) terminalFlightLocked(t *transfer, epoch int64, note string) {
+	if t.flight == nil {
+		t.status.WallLatencySeconds = s.now().Sub(t.submitted).Seconds()
+		return
+	}
+	ev := t.flight.Record(telemetry.FlightTerminal, epoch, 0, 0, 0, note)
+	t.status.WallLatencySeconds = float64(ev.WallNs-t.flight.StartWallNs()) / 1e9
+	a := attribute(t.flight.Events(), t.flight.StartWallNs(), t.flight.StartTick(), t.flight.Dropped())
+	for class, ns := range a.wallNs {
+		if ns <= 0 {
+			continue
+		}
+		if h := s.segWall[class]; h != nil {
+			h.Observe(float64(ns) / 1e9)
+		}
+	}
+	s.recorder.Retire(t.flight)
+}
+
+// maxTenantHDRs bounds per-tenant latency HDR cardinality; tenants beyond it
+// share the "other" histogram.
+const maxTenantHDRs = 32
+
+// tenantWallLocked returns the tenant's admission-to-completion wall HDR,
+// creating it on first sight.
+func (s *Service) tenantWallLocked(name string) *telemetry.HDR {
+	if name == "" {
+		name = "default"
+	}
+	h, ok := s.tenantWall[name]
+	if ok {
+		return h
+	}
+	if len(s.tenantWall) >= maxTenantHDRs {
+		name = "other"
+		if h, ok = s.tenantWall[name]; ok {
+			return h
+		}
+	}
+	h = s.cfg.Metrics.HDR("service.tenant."+name+".wall_seconds", telemetry.WallLatencySpec)
+	s.tenantWall[name] = h
+	return h
 }
 
 // settleFailures retries or fails a batch after an epoch-level error.

@@ -373,6 +373,31 @@ func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
 }
 
+// UnmarshalJSON accepts both numeric bounds and the "+Inf" string form, so
+// snapshots round-trip (e.g. decoding a /debug/bundle document).
+func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if len(raw.Le) > 0 && raw.Le[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw.Le, &s); err != nil {
+			return err
+		}
+		if s != "+Inf" {
+			return fmt.Errorf("telemetry: bad bucket bound %q", s)
+		}
+		b.Le = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(raw.Le, &b.Le)
+}
+
 // Snapshot is a frozen, sorted view of a registry, stable across runs with
 // the same instrument activity: maps serialize with sorted keys and the text
 // form is sorted by name.
