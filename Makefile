@@ -24,9 +24,11 @@ check: vet race
 # Machine-readable benchmark trajectory: run the decoder and sim benchmarks
 # and emit BENCH_decoder.json (ns/op, B/op, allocs/op per benchmark).
 # MWPMDecode covers the dense-vs-scratch sparse decode comparison;
-# DecodeWallLatency adds the wall-latency percentile families (p50/p99/p999).
+# DecodeWallLatency adds the wall-latency percentile families (p50/p99/p999);
+# BatchSample/BatchDecode ratchet the packed 64-lane engine's ns/trial against
+# the scalar pipeline.
 bench-json:
-	$(GO) test -run '^$$' -bench 'SurfNetDecoder|UnionFindDecoder|MWPMDecoder|MWPMDecode/|DecodeFrameAllocs|RunOverhead|DecodeWallLatency' \
+	$(GO) test -run '^$$' -bench 'SurfNetDecoder|UnionFindDecoder|MWPMDecoder|MWPMDecode/|DecodeFrameAllocs|RunOverhead|DecodeWallLatency|BatchSample|BatchDecode' \
 		-benchmem -benchtime $(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -out BENCH_decoder.json
 
 # Fast end-to-end check that the benchmark trajectory stays machine-readable:

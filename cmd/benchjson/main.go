@@ -26,7 +26,8 @@ import (
 // Benchmark is one parsed benchmark result line. Extra collects every
 // non-standard value/unit pair the benchmark reported via b.ReportMetric —
 // the wall-latency percentile families (p50-ns/op, p99-ns/op, p999-ns/op)
-// land here — keyed by unit.
+// and the packed engine's per-trial throughput (ns/trial) land here —
+// keyed by unit.
 type Benchmark struct {
 	Name        string             `json:"name"`
 	Procs       int                `json:"procs"`
@@ -86,8 +87,10 @@ func parseLine(line, pkg string) (Benchmark, bool) {
 		case "MB/s":
 			// throughput is derivable from ns/op; skip to keep records lean
 		default:
-			// custom b.ReportMetric units (e.g. p99-ns/op)
-			if strings.HasSuffix(unit, "/op") {
+			// custom b.ReportMetric units: per-op extras (e.g. p99-ns/op)
+			// and per-trial extras from the packed 64-lane benchmarks
+			// (ns/trial), where one op covers a whole 64-trial batch.
+			if strings.HasSuffix(unit, "/op") || strings.HasSuffix(unit, "/trial") {
 				if b.Extra == nil {
 					b.Extra = map[string]float64{}
 				}

@@ -25,7 +25,8 @@ func TestParseLine(t *testing.T) {
 		t.Fatalf("plain line grew extra metrics: %+v", b.Extra)
 	}
 
-	// Custom b.ReportMetric units land in Extra; non-/op units are dropped.
+	// Custom b.ReportMetric units land in Extra; units that are neither
+	// per-op nor per-trial are dropped.
 	b, ok = parseLine("BenchmarkDecodeWallLatency-8 	 100	 13000 ns/op	 13100 p50-ns/op	 19000 p99-ns/op	 42 widgets", "")
 	if !ok {
 		t.Fatal("extra-metric line not parsed")
@@ -35,6 +36,15 @@ func TestParseLine(t *testing.T) {
 	}
 	if _, ok := b.Extra["widgets"]; ok {
 		t.Fatalf("non-/op unit captured: %+v", b.Extra)
+	}
+
+	// The packed 64-lane benchmarks report per-trial throughput.
+	b, ok = parseLine("BenchmarkBatchDecode/erasure/d=9/packed 	 500	 250000 ns/op	 3900 ns/trial	 113 B/op	 3 allocs/op", "surfnet")
+	if !ok {
+		t.Fatal("ns/trial line not parsed")
+	}
+	if b.Extra["ns/trial"] != 3900 {
+		t.Fatalf("ns/trial not captured: %+v", b.Extra)
 	}
 
 	for _, line := range []string{

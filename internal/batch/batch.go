@@ -1,0 +1,125 @@
+// Package batch is the 64-trials-per-word Monte Carlo engine of the
+// Pauli+erasure substrate: Stim-style bit-parallel simulation specialized to
+// the repository's noise model (random Pauli errors plus erasures with
+// error-free measurements, DESIGN §1).
+//
+// Because every observable of a trial — syndromes, verification parities,
+// logical failure — is a parity function of the sampled error, 64 independent
+// trials pack into the bits of a uint64 "lane" word per data qubit: noise
+// sampling draws whole lane words, syndrome extraction is an XOR-fold of the
+// packed frame planes over the decoding graph, and the logical verdict is an
+// XOR-fold over the homology cut. Only the decode step itself is conditional:
+// lanes whose syndromes are fully explained by even-or-boundary erasure
+// clusters take a linear-time erasure-peeling fast path (Delfosse's
+// linear-time erasure decoding, PAPERS.md), and every other lane falls back to
+// the scalar decoder verbatim, so the packed path's logical-error verdict is
+// bit-for-bit the scalar oracle's verdict on the same error realization
+// (property-tested in equiv_test.go).
+//
+// Stream contract: the packed sampler draws a data-dependent number of words
+// per qubit and is therefore NOT stream-compatible with the scalar
+// surfacecode.NoiseModel sampler (whose own draw schedule is documented on
+// SampleInto). Callers give each batch its own stream via
+// root.SplitN("batch", batchIndex) — the batch index, never the worker id,
+// seeds the stream, preserving the worker-invariance contract of
+// internal/sim. Scalar and packed samplers agree in distribution (per-qubit
+// marginals are property-tested against binomial confidence bounds), never
+// bit-for-bit.
+package batch
+
+import (
+	"fmt"
+
+	"surfnet/internal/quantum"
+)
+
+// Lanes is the number of Monte Carlo trials packed into one machine word.
+const Lanes = 64
+
+// LaneMask returns the mask selecting the first n lanes (all lanes for
+// n >= Lanes).
+func LaneMask(n int) uint64 {
+	if n >= Lanes {
+		return ^uint64(0)
+	}
+	if n <= 0 {
+		return 0
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// Planes holds one batch of error realizations as bit planes: bit l of word q
+// is lane l's value for data qubit q. X and Z are the symplectic components
+// of the Pauli frame (X set on {X, Y}, Z set on {Z, Y}); Erase marks the
+// known erasure locations.
+type Planes struct {
+	X, Z  []uint64
+	Erase []uint64
+}
+
+// NewPlanes returns zeroed planes over n data qubits.
+func NewPlanes(n int) *Planes {
+	return &Planes{
+		X:     make([]uint64, n),
+		Z:     make([]uint64, n),
+		Erase: make([]uint64, n),
+	}
+}
+
+// NumQubits reports the number of data qubits covered by the planes.
+func (p *Planes) NumQubits() int { return len(p.X) }
+
+// Reset zeroes the planes in place, growing them to n qubits if needed.
+func (p *Planes) Reset(n int) {
+	p.X = growWords(p.X, n)
+	p.Z = growWords(p.Z, n)
+	p.Erase = growWords(p.Erase, n)
+}
+
+// Unpack extracts lane l as a scalar Pauli frame and erasure mask, reusing
+// the caller's buffers when their capacity allows (nil buffers allocate). The
+// returned frame and mask are exactly what the scalar decode pipeline
+// consumes, which is how the equivalence property tests replay a packed lane
+// through the scalar oracle.
+func (p *Planes) Unpack(l int, frame quantum.Frame, erased []bool) (quantum.Frame, []bool) {
+	if l < 0 || l >= Lanes {
+		panic(fmt.Sprintf("batch: lane %d outside [0,%d)", l, Lanes))
+	}
+	n := len(p.X)
+	if cap(frame) < n {
+		frame = quantum.NewFrame(n)
+	}
+	frame = frame[:n]
+	if cap(erased) < n {
+		erased = make([]bool, n)
+	}
+	erased = erased[:n]
+	bit := uint64(1) << uint(l)
+	for q := 0; q < n; q++ {
+		x, z := p.X[q]&bit != 0, p.Z[q]&bit != 0
+		switch {
+		case x && z:
+			frame[q] = quantum.Y
+		case x:
+			frame[q] = quantum.X
+		case z:
+			frame[q] = quantum.Z
+		default:
+			frame[q] = quantum.I
+		}
+		erased[q] = p.Erase[q]&bit != 0
+	}
+	return frame, erased
+}
+
+// growWords returns a zeroed length-n word slice, reusing buf's capacity.
+func growWords(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}

@@ -1,0 +1,234 @@
+package batch
+
+import "math/bits"
+
+// peeler is the packed-path replica of the scalar peeling decoder
+// (internal/decoder.peel), restructured for 64-lanes-per-batch throughput:
+// every per-lane buffer is version-stamped instead of cleared, so one lane's
+// peel costs O(|support| + |syndromes|) instead of O(graph). The forest
+// construction, adjacency append order, boundary-first BFS rooting, and
+// reverse-BFS peel replicate the scalar implementation decision-for-decision,
+// so an eligible lane's correction is element-identical to what
+// decoder.PeelErasure returns on the same input (property-tested in
+// peeler_test.go).
+type peeler struct {
+	cur uint64
+
+	// Versioned union-find over graph vertices (forest construction).
+	parent  []int32
+	rank    []int8
+	ufStamp []uint64
+
+	// Forest adjacency, rebuilt per lane; each entry packs the dense edge
+	// index (high word) with the far endpoint (low word) so traversal
+	// never re-derives the other endpoint. touched lists the vertices
+	// with at least one forest edge this lane, in first-touch order, and
+	// touchedBits mirrors it as a bitmap so the rooting pass can walk the
+	// forest's vertices in ascending order without sorting.
+	adj         [][]uint64
+	adjStamp    []uint64
+	touched     []int
+	touchedBits []uint64
+
+	// Live syndrome mask, folded into one stamp word per vertex: cur means
+	// on, cur+1 means off, anything else is a stale lane. cur advances by 2
+	// per lane so the off value never collides with a later lane's stamp.
+	synState []uint64
+
+	// BFS rooting state; queue doubles as the global BFS visit order the
+	// peel pass replays backwards. parentPack records each visited vertex's
+	// (parent edge << 32 | parent vertex), rootMark for tree roots.
+	visStamp   []uint64
+	parentPack []uint64
+	queue      []int
+
+	corr []int
+}
+
+// rootMark flags a BFS tree root in parentPack (no parent edge).
+const rootMark = ^uint64(0)
+
+func newPeeler(nv int) *peeler {
+	return &peeler{
+		parent:      make([]int32, nv),
+		rank:        make([]int8, nv),
+		ufStamp:     make([]uint64, nv),
+		adj:         make([][]uint64, nv),
+		adjStamp:    make([]uint64, nv),
+		touchedBits: make([]uint64, (nv+63)/64),
+		synState:    make([]uint64, nv),
+		visStamp:    make([]uint64, nv),
+		parentPack:  make([]uint64, nv),
+	}
+}
+
+func (p *peeler) find(v int) int {
+	if p.ufStamp[v] != p.cur {
+		p.ufStamp[v] = p.cur
+		p.parent[v] = int32(v)
+		p.rank[v] = 0
+		return v
+	}
+	for int(p.parent[v]) != v {
+		p.parent[v] = p.parent[p.parent[v]] // path halving
+		v = int(p.parent[v])
+		if p.ufStamp[v] != p.cur {
+			p.ufStamp[v] = p.cur
+			p.parent[v] = int32(v)
+			p.rank[v] = 0
+			return v
+		}
+	}
+	return v
+}
+
+// union merges the components of u and v, reporting whether they were
+// distinct. Only the merged bit feeds the forest, so the root choice is free.
+func (p *peeler) union(u, v int) bool {
+	ru, rv := p.find(u), p.find(v)
+	if ru == rv {
+		return false
+	}
+	if p.rank[ru] < p.rank[rv] {
+		ru, rv = rv, ru
+	}
+	p.parent[rv] = int32(ru)
+	if p.rank[ru] == p.rank[rv] {
+		p.rank[ru]++
+	}
+	return true
+}
+
+func (p *peeler) addAdj(v, other int, ei int32) {
+	if p.adjStamp[v] != p.cur {
+		p.adjStamp[v] = p.cur
+		p.adj[v] = p.adj[v][:0]
+		p.touched = append(p.touched, v)
+		p.touchedBits[v>>6] |= 1 << uint(v&63)
+	}
+	p.adj[v] = append(p.adj[v], uint64(uint32(ei))<<32|uint64(uint32(other)))
+}
+
+func (p *peeler) adjAt(v int) []uint64 {
+	if p.adjStamp[v] != p.cur {
+		return nil
+	}
+	return p.adj[v]
+}
+
+func (p *peeler) syn(v int) bool { return p.synState[v] == p.cur }
+
+func (p *peeler) setSyn(v int, on bool) {
+	if on {
+		p.synState[v] = p.cur
+	} else {
+		p.synState[v] = p.cur + 1
+	}
+}
+
+func (p *peeler) toggleSyn(v int) {
+	if p.synState[v] == p.cur {
+		p.synState[v] = p.cur + 1
+	} else {
+		p.synState[v] = p.cur
+	}
+}
+
+// peelLane peels one lane's erased support (dense edge indices, ascending)
+// against its syndromes (real vertices, ascending). It returns the
+// correction as data-qubit indices, aliasing an internal buffer valid until
+// the next call, and reports whether the support satisfied the cluster
+// invariant; ok == false means the lane needs full cluster growth and the
+// emitted correction must be discarded.
+func (p *peeler) peelLane(pg *packedGraph, support []int32, syndromes []int) ([]int, bool) {
+	// Sparse reset: wipe the previous lane's touched bitmap, then bump the
+	// stamp that invalidates every other per-vertex array.
+	for _, v := range p.touched {
+		p.touchedBits[v>>6] &^= 1 << uint(v&63)
+	}
+	p.touched = p.touched[:0]
+	p.cur += 2 // cur is always even; cur+1 is this lane's syndrome-off value
+
+	// Spanning forest of the support, in support order.
+	for _, ei := range support {
+		u, v := int(pg.u[ei]), int(pg.v[ei])
+		if p.union(u, v) {
+			p.addAdj(u, v, ei)
+			p.addAdj(v, u, ei)
+		}
+	}
+	for _, v := range syndromes {
+		p.setSyn(v, true)
+	}
+
+	// Root each tree, boundary vertices first, then the support's vertices
+	// in ascending order — the scalar peel scans all vertices ascending,
+	// and only support vertices have adjacency, so the rooting order is
+	// identical. The queue is shared across all trees: FIFO insertion
+	// order IS the global BFS visit order the peel pass replays backwards.
+	queue := p.queue[:0]
+	head := 0
+	bfsFrom := func(root int) {
+		p.visStamp[root] = p.cur
+		p.parentPack[root] = rootMark
+		queue = append(queue, root)
+		for ; head < len(queue); head++ {
+			v := queue[head]
+			for _, pe := range p.adjAt(v) {
+				u := int(uint32(pe))
+				if p.visStamp[u] != p.cur {
+					p.visStamp[u] = p.cur
+					p.parentPack[u] = pe&^(1<<32-1) | uint64(uint32(v))
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	for _, b := range []int{pg.dg.BoundaryA(), pg.dg.BoundaryB()} {
+		if p.visStamp[b] != p.cur {
+			bfsFrom(b)
+		}
+	}
+	for w, word := range p.touchedBits {
+		for word != 0 {
+			v := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if p.visStamp[v] != p.cur {
+				bfsFrom(v)
+			}
+		}
+	}
+	p.queue = queue
+
+	// Peel in reverse BFS order: a peeled vertex hands its live syndrome to
+	// its parent through its parent edge.
+	corr := p.corr[:0]
+	for i := len(queue) - 1; i >= 0; i-- {
+		v := queue[i]
+		pp := p.parentPack[v]
+		if pp == rootMark {
+			continue
+		}
+		if p.syn(v) {
+			p.setSyn(v, false)
+			corr = append(corr, int(pg.id[int32(pp>>32)]))
+			p.toggleSyn(int(uint32(pp)))
+		}
+	}
+	p.corr = corr
+
+	// Cluster-invariant check: leftover parity may only sit on boundary
+	// vertices. Live syndromes can only remain where one started or was
+	// toggled to — the syndrome list and the forest vertices.
+	for _, v := range syndromes {
+		if p.syn(v) {
+			return nil, false
+		}
+	}
+	for _, v := range p.touched {
+		if v < pg.numReal && p.syn(v) {
+			return nil, false
+		}
+	}
+	return corr, true
+}

@@ -1,0 +1,101 @@
+package batch
+
+import (
+	"errors"
+	"testing"
+
+	"surfnet/internal/decoder"
+	"surfnet/internal/quantum"
+	"surfnet/internal/rng"
+	"surfnet/internal/surfacecode"
+)
+
+// TestPeelerMatchesScalarPeel pins the version-stamped packed peeler to the
+// scalar reference decoder.PeelErasure: on every sampled lane, either both
+// refuse (cluster invariant violated) or both succeed with element-identical
+// corrections in identical order. One peeler instance is reused across all
+// lanes, graphs, and distances, so the stamp-based reset discipline is
+// exercised across thousands of consecutive calls.
+func TestPeelerMatchesScalarPeel(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		for _, pt := range []struct {
+			p, e float64
+		}{
+			{0.00, 0.30}, // pure erasure: every lane must peel
+			{0.06, 0.18}, // mixed: refusals must agree with the scalar peel
+		} {
+			code := surfacecode.MustNew(d, surfacecode.CoreLShape)
+			n := code.NumData()
+			nm := surfacecode.UniformNoise(code, pt.p, pt.e)
+			probs := nm.EdgeErrorProb()
+			sampler, err := NewSampler(n, nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nv := code.Graph(surfacecode.ZGraph).G.NumVertices()
+			if x := code.Graph(surfacecode.XGraph).G.NumVertices(); x > nv {
+				nv = x
+			}
+			p := newPeeler(nv)
+			planes := NewPlanes(n)
+			root := rng.New(99).Split("peeler-equiv")
+			var frame quantum.Frame
+			var erased []bool
+			refusals, successes := 0, 0
+			for b := 0; b < 4; b++ {
+				sampler.SampleInto(planes, root.SplitN("batch", b))
+				for l := 0; l < Lanes; l++ {
+					frame, erased = planes.Unpack(l, frame, erased)
+					var support []int
+					var support32 []int32
+					for q := 0; q < n; q++ {
+						if erased[q] {
+							support = append(support, q)
+							support32 = append(support32, int32(q))
+						}
+					}
+					for _, kind := range []surfacecode.GraphKind{surfacecode.ZGraph, surfacecode.XGraph} {
+						dg := code.Graph(kind)
+						pg := newPackedGraph(dg)
+						syn := code.Syndrome(kind, frame)
+						if len(syn) == 0 {
+							continue
+						}
+						in := decoder.Input{Graph: dg, Syndromes: syn, Erased: erased, ErrorProb: probs}
+						want, wantErr := decoder.PeelErasure(in, support, nil)
+						got, ok := p.peelLane(&pg, support32, syn)
+						if wantErr != nil {
+							if !errors.Is(wantErr, decoder.ErrClusterInvariant) {
+								t.Fatalf("d=%d p=%v lane %d %v: scalar peel error: %v", d, pt.p, l, kind, wantErr)
+							}
+							if ok {
+								t.Fatalf("d=%d p=%v lane %d %v: scalar peel refused but packed peeler accepted", d, pt.p, l, kind)
+							}
+							refusals++
+							continue
+						}
+						if !ok {
+							t.Fatalf("d=%d p=%v lane %d %v: packed peeler refused but scalar peel succeeded", d, pt.p, l, kind)
+						}
+						successes++
+						if len(got) != len(want) {
+							t.Fatalf("d=%d p=%v lane %d %v: correction length %d, want %d", d, pt.p, l, kind, len(got), len(want))
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("d=%d p=%v lane %d %v: corr[%d] = %d, want %d\ngot  %v\nwant %v",
+									d, pt.p, l, kind, i, got[i], want[i], got, want)
+							}
+						}
+					}
+				}
+			}
+			if successes == 0 {
+				t.Errorf("d=%d p=%v e=%v: no successful peels sampled", d, pt.p, pt.e)
+			}
+			if pt.p > 0 && refusals == 0 {
+				t.Errorf("d=%d p=%v e=%v: mixed noise never exercised the refusal path", d, pt.p, pt.e)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+
+	"surfnet/internal/rng"
+	"surfnet/internal/surfacecode"
+)
+
+// coin draws 64 independent Bernoulli(p) bits at a time. Two strategies,
+// picked at compile time by success density:
+//
+//   - Sparse (expected set bits per word below denseCutoff): geometric gap
+//     sampling — one uniform per *set* bit (expected 64·p draws), skipping
+//     ahead by the geometrically distributed gap k = ⌊log(1−u)/log(1−p)⌋
+//     between successes.
+//   - Dense: fixed-point comparison — the word's 64 lanes compare a lazily
+//     revealed uniform against p's 64-bit binary expansion MSB-first, one raw
+//     word per revealed bit. Each draw halves the undecided lane set, so the
+//     expected draw count is ≲ log₂64 + 2 regardless of p, and the lane
+//     marginal is *exactly* Bernoulli(pf/2⁶⁴).
+//
+// For p > 1/2 the complement coin is sampled and the word inverted, so the
+// effective probability is always in (0, 1/2].
+type coin struct {
+	p        float64 // effective success probability, in (0, 1/2]
+	invLn1p  float64 // 1 / log1p(-p), negative (sparse strategy)
+	pf       uint64  // round(p·2⁶⁴), nonzero iff the dense strategy is used
+	flip     bool    // sampled coin is the complement of the requested one
+	constant uint64  // used when degenerate is set
+	degen    bool    // p <= 0 or p >= 1: no randomness needed
+}
+
+// denseCutoff is the expected set-bit count per word above which the dense
+// fixed-point strategy beats geometric skipping (~8 draws per word either
+// way, but the dense draws skip the log evaluation).
+const denseCutoff = 8.0
+
+func makeCoin(p float64) coin {
+	switch {
+	case p <= 0:
+		return coin{degen: true, constant: 0}
+	case p >= 1:
+		return coin{degen: true, constant: ^uint64(0)}
+	case p > 0.5:
+		c := makeCoin(1 - p)
+		c.flip = !c.flip
+		return c
+	case p*Lanes > denseCutoff:
+		// p ≤ 1/2, so p·2⁶⁴ ≤ 2⁶³ fits; the product is exact because
+		// scaling a float64 by a power of two only shifts the exponent.
+		return coin{p: p, pf: uint64(math.Round(p * (1 << 63) * 2))}
+	default:
+		return coin{p: p, invLn1p: 1 / math.Log1p(-p)}
+	}
+}
+
+// word draws one 64-lane Bernoulli word from src.
+func (c *coin) word(src *rng.Source) uint64 {
+	if c.degen {
+		return c.constant
+	}
+	var w uint64
+	if c.pf != 0 {
+		// Dense fixed-point comparison: lane l succeeds iff its uniform
+		// U_l < p. U's bits are revealed MSB-first, one packed word per
+		// position, against the matching bit of pf; a lane is decided at
+		// the first position where the bits differ. Once pf runs out of
+		// set bits no undecided lane can still succeed.
+		undecided := ^uint64(0)
+		for pf := c.pf; pf != 0 && undecided != 0; pf <<= 1 {
+			u := src.Uint64()
+			if pf&(1<<63) != 0 {
+				w |= undecided &^ u
+				undecided &= u
+			} else {
+				undecided &^= u
+			}
+		}
+	} else {
+		pos := 0
+		for {
+			u := src.Float64()
+			// math.Log1p(-u) is finite because Float64 ∈ [0,1).
+			gap := math.Log1p(-u) * c.invLn1p
+			if gap >= float64(Lanes-pos) {
+				break
+			}
+			pos += int(gap)
+			w |= uint64(1) << uint(pos)
+			pos++
+			if pos >= Lanes {
+				break
+			}
+		}
+	}
+	if c.flip {
+		w = ^w
+	}
+	return w
+}
+
+// Sampler draws packed 64-lane error realizations distributionally equivalent
+// to surfacecode.NoiseModel sampling: per qubit q and lane l, the qubit is
+// erased with probability Erase[q] (and then carries a uniform Pauli from
+// {I, X, Y, Z}); otherwise it suffers independent X and Z flips with
+// probability Pauli[q] each.
+//
+// The draw schedule is data- and rate-dependent (geometric skipping draws one
+// uniform per set bit, the dense strategy one word per revealed comparison
+// bit, plus two raw words per qubit with any erased lane), so the packed
+// stream is NOT bitwise compatible with the scalar sampler's stream — see the
+// package comment for the stream-splitting contract. Statistical equivalence
+// is property-tested in sampler_test.go.
+type Sampler struct {
+	erase []coin
+	pauli []coin
+}
+
+// NewSampler compiles the per-qubit coins for nm over n data qubits.
+func NewSampler(n int, nm *surfacecode.NoiseModel) (*Sampler, error) {
+	if err := nm.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nm.Pauli) != n {
+		return nil, fmt.Errorf("batch: noise model covers %d qubits, code has %d", len(nm.Pauli), n)
+	}
+	s := &Sampler{
+		erase: make([]coin, n),
+		pauli: make([]coin, n),
+	}
+	for q := 0; q < n; q++ {
+		s.erase[q] = makeCoin(nm.Erase[q])
+		s.pauli[q] = makeCoin(nm.Pauli[q])
+	}
+	return s, nil
+}
+
+// SampleInto fills p with one packed batch of 64 error realizations drawn
+// from src. The planes are overwritten, not accumulated.
+func (s *Sampler) SampleInto(p *Planes, src *rng.Source) {
+	n := len(s.erase)
+	p.Reset(n)
+	for q := 0; q < n; q++ {
+		e := s.erase[q].word(src)
+		p.Erase[q] = e
+		var x, z uint64
+		if e != 0 {
+			// Erased lanes carry a uniform Pauli: independent fair X and Z
+			// bits, masked to the erased lanes.
+			x = src.Uint64() & e
+			z = src.Uint64() & e
+		}
+		if e != ^uint64(0) {
+			// Intact lanes suffer independent Bernoulli(p) X and Z flips.
+			keep := ^e
+			x |= s.pauli[q].word(src) & keep
+			z |= s.pauli[q].word(src) & keep
+		}
+		p.X[q] = x
+		p.Z[q] = z
+	}
+}

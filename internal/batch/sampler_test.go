@@ -1,0 +1,152 @@
+package batch
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"surfnet/internal/quantum"
+	"surfnet/internal/rng"
+	"surfnet/internal/surfacecode"
+)
+
+// TestCoinDegenerateAndFair pins the special-cased rates.
+func TestCoinDegenerateAndFair(t *testing.T) {
+	src := rng.New(1)
+	zero := makeCoin(0)
+	one := makeCoin(1)
+	for i := 0; i < 10; i++ {
+		if w := zero.word(src); w != 0 {
+			t.Fatalf("p=0 coin produced %#x", w)
+		}
+		if w := one.word(src); w != ^uint64(0) {
+			t.Fatalf("p=1 coin produced %#x", w)
+		}
+	}
+	fair := makeCoin(0.5)
+	total := 0
+	const words = 4000
+	for i := 0; i < words; i++ {
+		total += bits.OnesCount64(fair.word(src))
+	}
+	mean := float64(total) / (words * Lanes)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("fair coin mean %.4f, want 0.5", mean)
+	}
+}
+
+// TestCoinGeometricSkipping checks the gap-sampled Bernoulli word against its
+// binomial expectation, on both sides of the 1/2 complementing threshold.
+func TestCoinGeometricSkipping(t *testing.T) {
+	for _, p := range []float64{0.003, 0.05, 0.2, 0.49, 0.51, 0.8, 0.97} {
+		c := makeCoin(p)
+		src := rng.New(uint64(p * 1e6))
+		const words = 20000
+		total := 0
+		for i := 0; i < words; i++ {
+			total += bits.OnesCount64(c.word(src))
+		}
+		n := float64(words * Lanes)
+		mean := float64(total) / n
+		sigma := math.Sqrt(p * (1 - p) / n)
+		if math.Abs(mean-p) > 5*sigma {
+			t.Errorf("p=%v: observed rate %.5f is %.1f sigma off", p, mean, math.Abs(mean-p)/sigma)
+		}
+	}
+}
+
+// TestSamplerMarginalsMatchScalar is the satellite statistical-equivalence
+// property: per qubit, the packed sampler's marginal X/Z/erasure rates must
+// agree with the scalar NoiseModel sampler's within binomial confidence
+// bounds, so the two stream families can never silently diverge in
+// distribution. The Core-halved uniform model makes the rates heterogeneous
+// across qubits.
+func TestSamplerMarginalsMatchScalar(t *testing.T) {
+	code := surfacecode.MustNew(5, surfacecode.CoreLShape)
+	const p, e = 0.07, 0.18
+	nm := surfacecode.UniformNoise(code, p, e)
+	n := code.NumData()
+
+	const batches = 2500
+	const trials = batches * Lanes
+	s, err := NewSampler(n, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planes := NewPlanes(n)
+	root := rng.New(7).Split("marginals")
+	packedX := make([]int, n)
+	packedZ := make([]int, n)
+	packedE := make([]int, n)
+	for b := 0; b < batches; b++ {
+		s.SampleInto(planes, root.SplitN("batch", b))
+		for q := 0; q < n; q++ {
+			packedX[q] += bits.OnesCount64(planes.X[q])
+			packedZ[q] += bits.OnesCount64(planes.Z[q])
+			packedE[q] += bits.OnesCount64(planes.Erase[q])
+		}
+	}
+
+	scalarX := make([]int, n)
+	scalarZ := make([]int, n)
+	scalarE := make([]int, n)
+	scalarSrc := rng.New(7).Split("scalar-marginals")
+	var f quantum.Frame
+	var erased []bool
+	for i := 0; i < trials; i++ {
+		f, erased = nm.SampleInto(scalarSrc.SplitN("t", i), f, erased)
+		for q := 0; q < n; q++ {
+			if f[q].HasX() {
+				scalarX[q]++
+			}
+			if f[q].HasZ() {
+				scalarZ[q]++
+			}
+			if erased[q] {
+				scalarE[q]++
+			}
+		}
+	}
+
+	// Expected marginals: P(erase) = e_q; a flip plane bit is set with
+	// probability e_q/2 (uniform Pauli on erased lanes) + (1-e_q)·p_q.
+	check := func(name string, counts []int, want func(q int) float64, trials int) {
+		for q := 0; q < n; q++ {
+			m := want(q)
+			got := float64(counts[q]) / float64(trials)
+			sigma := math.Sqrt(m * (1 - m) / float64(trials))
+			if math.Abs(got-m) > 5*sigma {
+				t.Errorf("%s qubit %d: rate %.5f vs expected %.5f (%.1f sigma)",
+					name, q, got, m, math.Abs(got-m)/sigma)
+			}
+		}
+	}
+	xWant := func(q int) float64 { return nm.Erase[q]/2 + (1-nm.Erase[q])*nm.Pauli[q] }
+	eWant := func(q int) float64 { return nm.Erase[q] }
+	check("packed X", packedX, xWant, trials)
+	check("packed Z", packedZ, xWant, trials)
+	check("packed erase", packedE, eWant, trials)
+	check("scalar X", scalarX, xWant, trials)
+	check("scalar Z", scalarZ, xWant, trials)
+	check("scalar erase", scalarE, eWant, trials)
+}
+
+// TestSampleIntoOverwrites guards against accumulation across batches.
+func TestSampleIntoOverwrites(t *testing.T) {
+	code := surfacecode.MustNew(3, surfacecode.CoreLShape)
+	nm := surfacecode.UniformNoise(code, 0, 0) // noiseless: all planes must zero
+	s, err := NewSampler(code.NumData(), nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planes := NewPlanes(code.NumData())
+	for q := range planes.X {
+		planes.X[q], planes.Z[q], planes.Erase[q] = ^uint64(0), ^uint64(0), ^uint64(0)
+	}
+	s.SampleInto(planes, rng.New(3))
+	for q := range planes.X {
+		if planes.X[q] != 0 || planes.Z[q] != 0 || planes.Erase[q] != 0 {
+			t.Fatalf("qubit %d planes not overwritten: %#x %#x %#x", q, planes.X[q], planes.Z[q], planes.Erase[q])
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package decoder
+
+import "errors"
+
+// ErrClusterInvariant is reported (wrapped) by peeling when the support does
+// not satisfy the cluster invariant: some connected component holds an odd
+// number of syndromes without touching a virtual boundary vertex. For
+// PeelErasure callers this is the signal that the erased edges alone cannot
+// explain the syndromes and full cluster growth is required.
+var ErrClusterInvariant = errors.New("support does not satisfy the cluster invariant")
+
+// PeelErasure runs the peeling decoder directly on a caller-supplied support,
+// skipping cluster growth. It is the erasure fast path of the packed batch
+// engine (internal/batch): when every syndrome lies in an even-parity or
+// boundary-touching component of the erased edges, cluster growth is a
+// provable no-op for the decoders that pre-absorb erasures (UnionFind and
+// the default SurfNet), so peeling the erased support — in the same
+// ascending-dense-index order growClusters pre-grows it — yields the exact
+// correction those decoders would return.
+//
+// support lists dense edge indices of in.Graph. When the support violates
+// the cluster invariant the returned error wraps ErrClusterInvariant and the
+// caller must fall back to a full decode; growClusters would have grown the
+// support on exactly those inputs. The returned correction aliases the
+// scratch; a nil Scratch allocates a throwaway arena.
+func PeelErasure(in Input, support []int, s *Scratch) ([]int, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if len(in.Syndromes) == 0 {
+		return nil, nil
+	}
+	return peel(in, support, s)
+}

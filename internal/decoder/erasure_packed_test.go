@@ -1,0 +1,87 @@
+package decoder_test
+
+import (
+	"errors"
+	"testing"
+
+	"surfnet/internal/batch"
+	"surfnet/internal/decoder"
+	"surfnet/internal/quantum"
+	"surfnet/internal/rng"
+	"surfnet/internal/surfacecode"
+)
+
+// TestPeelErasurePackedSupports drives the peeling decoder through supports
+// produced by the packed sampler (internal/batch): each lane's erasure mask
+// becomes the support, its sampled error the syndrome source. On erasure-only
+// noise every lane must peel cleanly; with Pauli noise mixed in, any peel
+// refusal must be the cluster-invariant sentinel that triggers the engine's
+// scalar fallback.
+func TestPeelErasurePackedSupports(t *testing.T) {
+	for _, pt := range []struct {
+		p, e float64
+	}{
+		{0.00, 0.25}, // pure erasure: invariant always holds
+		{0.08, 0.15}, // mixed: refusals allowed, but only via the sentinel
+	} {
+		c := surfacecode.MustNew(5, surfacecode.CoreLShape)
+		n := c.NumData()
+		nm := surfacecode.UniformNoise(c, pt.p, pt.e)
+		probs := nm.EdgeErrorProb()
+		sampler, err := batch.NewSampler(n, nm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planes := batch.NewPlanes(n)
+		root := rng.New(17).Split("packed-supports")
+		var frame quantum.Frame
+		var erased []bool
+		refused := 0
+		for b := 0; b < 6; b++ {
+			sampler.SampleInto(planes, root.SplitN("batch", b))
+			for l := 0; l < batch.Lanes; l++ {
+				frame, erased = planes.Unpack(l, frame, erased)
+				var support []int
+				for q := 0; q < n; q++ {
+					if erased[q] {
+						support = append(support, q) // dense edge index == qubit id
+					}
+				}
+				for _, kind := range []surfacecode.GraphKind{surfacecode.ZGraph, surfacecode.XGraph} {
+					in := decoder.Input{
+						Graph:     c.Graph(kind),
+						Syndromes: c.Syndrome(kind, frame),
+						Erased:    erased,
+						ErrorProb: probs,
+					}
+					corr, err := decoder.PeelErasure(in, support, nil)
+					if err != nil {
+						if !errors.Is(err, decoder.ErrClusterInvariant) {
+							t.Fatalf("p=%v e=%v lane %d %v: unexpected peel error: %v", pt.p, pt.e, l, kind, err)
+						}
+						if pt.p == 0 {
+							t.Fatalf("p=0 e=%v lane %d %v: pure-erasure support refused: %v", pt.e, l, kind, err)
+						}
+						refused++
+						continue
+					}
+					// Verify the correction clears the lane's syndromes.
+					resid := frame.Clone()
+					op := quantum.X
+					if kind == surfacecode.XGraph {
+						op = quantum.Z
+					}
+					for _, q := range corr {
+						resid.Apply(q, op)
+					}
+					if left := c.Syndrome(kind, resid); len(left) != 0 {
+						t.Fatalf("p=%v e=%v lane %d %v: %d syndromes left after packed-support peel", pt.p, pt.e, l, kind, len(left))
+					}
+				}
+			}
+		}
+		if pt.p > 0 && refused == 0 {
+			t.Errorf("p=%v e=%v: no lane ever needed fallback; mixed grid should exercise the refusal path", pt.p, pt.e)
+		}
+	}
+}

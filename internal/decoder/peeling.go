@@ -98,7 +98,7 @@ func peel(in Input, support []int, s *Scratch) ([]int, error) {
 	// anything else means the support violated the cluster invariant.
 	for v := 0; v < dg.NumReal; v++ {
 		if syndrome[v] {
-			return nil, fmt.Errorf("decoder: peeling left a live syndrome at vertex %d (support does not satisfy the cluster invariant)", v)
+			return nil, fmt.Errorf("decoder: peeling left a live syndrome at vertex %d (%w)", v, ErrClusterInvariant)
 		}
 	}
 	return corr, nil

@@ -27,7 +27,11 @@ func (UnionFind) DecodeWith(in Input, s *Scratch) ([]int, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
-	if len(in.Syndromes) == 0 && !anyErased(in) {
+	// No syndromes means the correction is provably empty regardless of
+	// erasures: pre-grown erasure clusters all have even (zero) parity, so
+	// growth never starts and peeling emits nothing. Short-circuit exactly
+	// like SurfNet.DecodeWith does.
+	if len(in.Syndromes) == 0 {
 		return nil, nil
 	}
 	support, err := growClusters(in, growthConfig{
@@ -97,14 +101,4 @@ func (d SurfNet) DecodeWith(in Input, s *Scratch) ([]int, error) {
 		return nil, err
 	}
 	return peel(in, support, s)
-}
-
-// anyErased reports whether the input contains at least one erasure.
-func anyErased(in Input) bool {
-	for _, e := range in.Erased {
-		if e {
-			return true
-		}
-	}
-	return false
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"surfnet/internal/batch"
 	"surfnet/internal/decoder"
 	"surfnet/internal/obs"
 	"surfnet/internal/quantum"
@@ -29,6 +30,15 @@ type Fig8Config struct {
 	// runtime.GOMAXPROCS(0) and 1 forces the serial path. Logical rates
 	// are identical for every value (see internal/sim).
 	Workers int
+	// Batch decodes 64 trials per machine word on the packed engine
+	// (internal/batch) instead of one scalar decode per trial. Rates stay
+	// worker-invariant (the batch index seeds each stream) and every
+	// lane's verdict equals the scalar pipeline's verdict on the same
+	// error realization, but the sampled realizations come from a
+	// different stream family than the scalar path's, so rates are
+	// statistically — not bitwise — comparable with scalar runs. Only
+	// UnionFind and default SurfNet decoders are supported.
+	Batch bool
 	// Distances are the evaluated code distances; the paper uses
 	// 9, 11, 13, 15.
 	Distances []int
@@ -95,7 +105,13 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 				if cell != nil {
 					ctx = sim.WithProgress(ctx, cell)
 				}
-				rate, err := logicalRate(ctx, code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
+				var rate float64
+				var err error
+				if cfg.Batch {
+					rate, err = batchLogicalRate(ctx, code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
+				} else {
+					rate, err = logicalRate(ctx, code, dec, p, cfg.ErasureRate, cfg.Trials, cfg.Workers, cfg.Seed, cfg.Metrics)
+				}
 				cell.Finish()
 				if err != nil {
 					return nil, err
@@ -147,6 +163,61 @@ func logicalRate(ctx context.Context, code *surfacecode.Code, dec decoder.Decode
 					code.Distance(), pauli, i, err)
 			}
 			return res.Failed(), nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	fails := 0
+	for _, f := range failed {
+		if f {
+			fails++
+		}
+	}
+	return float64(fails) / float64(trials), nil
+}
+
+// batchScratch is the per-worker arena of the packed threshold study: one
+// batch.Engine per (decoder, distance, rate) cell, rebuilt when the worker
+// crosses into a new cell (arenas outlive cells).
+type batchScratch struct {
+	eng *batch.Engine
+	key string
+}
+
+// batchLogicalRate is logicalRate on the packed 64-lane engine: each
+// sim.RunBatch work unit decodes up to 64 trials in one Engine.Run, with the
+// batch index — never the worker id — seeding the rng stream
+// (root.SplitN("batch", i)), so rates are identical for every worker count.
+func batchLogicalRate(ctx context.Context, code *surfacecode.Code, dec decoder.Decoder, pauli, erasure float64, trials, workers int, seed uint64, reg *telemetry.Registry) (float64, error) {
+	nm := surfacecode.UniformNoise(code, pauli, erasure)
+	root := rng.New(seed).Split(fmt.Sprintf("fig8/%s/%d/%.4f", dec.Name(), code.Distance(), pauli))
+	key := fmt.Sprintf("%s/%d/%.4f/%.4f", dec.Name(), code.Distance(), pauli, erasure)
+	failed, err := sim.RunBatch(ctx, trials, batch.Lanes, workers,
+		func(b sim.Batch, w *sim.Worker) ([]bool, error) {
+			sc := sim.Scratch(w, "fig8batch", func() *batchScratch { return &batchScratch{} })
+			if sc.key != key {
+				eng, err := batch.NewEngine(code, nm, dec)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: building packed engine for d=%d p=%v: %w", code.Distance(), pauli, err)
+				}
+				sc.eng, sc.key = eng, key
+			}
+			mask, stats, err := sc.eng.Run(root.SplitN("batch", b.Index), b.Len)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: packed decode d=%d p=%v batch %d: %w",
+					code.Distance(), pauli, b.Index, err)
+			}
+			if reg != nil {
+				prefix := "batch." + dec.Name() + "."
+				reg.Counter(prefix + "fast_lanes").Add(int64(stats.FastLanes))
+				reg.Counter(prefix + "fallback_lanes").Add(int64(stats.FallbackLanes))
+				reg.Counter(prefix + "empty_lanes").Add(int64(stats.EmptyLanes))
+			}
+			out := make([]bool, b.Len)
+			for l := range out {
+				out[l] = mask>>uint(l)&1 == 1
+			}
+			return out, nil
 		})
 	if err != nil {
 		return 0, err

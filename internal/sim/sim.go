@@ -135,7 +135,11 @@ func Run[T any](ctx context.Context, n, workers int, trial func(i int, w *Worker
 				return nil, err
 			}
 			results[i] = v
-			if progress != nil {
+			// Report only while the run is still live: a trial that
+			// completes after the caller's ctx was cancelled has its
+			// result discarded on return, so counting it would let
+			// progress exceed the kept-trial count.
+			if progress != nil && ctx.Err() == nil {
 				progress.TrialDone(1)
 			}
 		}
@@ -175,7 +179,12 @@ func Run[T any](ctx context.Context, n, workers int, trial func(i int, w *Worker
 					return
 				}
 				results[i] = v
-				if progress != nil {
+				// A worker that passed the ctx check above can finish its
+				// trial after a sibling failed and cancelled the pool; its
+				// result is discarded on the error return, so suppress the
+				// progress report too — otherwise /status trial counts
+				// exceed the number of trials whose results are kept.
+				if progress != nil && ctx.Err() == nil {
 					progress.TrialDone(1)
 				}
 			}

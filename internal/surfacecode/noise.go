@@ -76,6 +76,18 @@ func (nm *NoiseModel) Sample(src *rng.Source) (quantum.Frame, []bool) {
 // scratch buffers to stop allocating per trial). The returned slices alias
 // the buffers; they are valid until the next SampleInto with the same
 // buffers. Nil buffers allocate fresh.
+//
+// Draw contract: the number of rng draws consumed per qubit is
+// data-dependent — Bool(Erase[q]); then if erased one IntN(4), else
+// Bool(Pauli[q]) twice — and Bool consumes nothing at all when its rate is
+// degenerate (p <= 0 or p >= 1). Any consumer that needs reproducibility must
+// therefore derive one stream per trial (the simulation loops split
+// root.SplitN("trial", i) / SplitN("t", i)) and never interleave other draws
+// on that stream. The packed sampler in internal/batch has a different,
+// also data-dependent schedule, so the two can only ever agree in
+// distribution, never draw-for-draw; it uses a disjoint
+// root.SplitN("batch", i) stream family and its marginals are property-tested
+// against this sampler's.
 func (nm *NoiseModel) SampleInto(src *rng.Source, frame quantum.Frame, erased []bool) (quantum.Frame, []bool) {
 	n := len(nm.Pauli)
 	f := frame

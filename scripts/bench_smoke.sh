@@ -9,12 +9,14 @@ cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
-# Run against a scratch copy so a smoke run never clobbers the committed
-# full-benchtime trajectory.
+# Run against a scratch copy so a smoke run never clobbers the
+# full-benchtime trajectory — including an uncommitted ledger refresh
+# sitting in the working tree, so save/restore rather than git checkout.
 out="$workdir/BENCH_decoder.json"
+cp BENCH_decoder.json "$workdir/BENCH_saved.json"
 make bench-json BENCHTIME=10x >/dev/null
 mv BENCH_decoder.json "$out"
-git checkout -- BENCH_decoder.json 2>/dev/null || true
+cp "$workdir/BENCH_saved.json" BENCH_decoder.json
 
 python3 - "$out" <<'EOF'
 import json
@@ -31,6 +33,11 @@ expected = [
     "BenchmarkDecodeFrameAllocs/",
     "BenchmarkRunOverhead/",
     "BenchmarkDecodeWallLatency/",
+    "BenchmarkBatchSample/",
+    "BenchmarkBatchDecode/fig8/d=9/packed",
+    "BenchmarkBatchDecode/fig8/d=9/scalar",
+    "BenchmarkBatchDecode/erasure/d=9/packed",
+    "BenchmarkBatchDecode/erasure/d=9/scalar",
 ]
 missing = [e for e in expected if not any(n.startswith(e) for n in names)]
 if missing:
@@ -45,5 +52,10 @@ for b in report["benchmarks"]:
         for unit in ("p50-ns/op", "p99-ns/op", "p999-ns/op"):
             if extra.get(unit, 0) <= 0:
                 sys.exit(f"{b['name']} missing percentile metric {unit}: {extra}")
+    # The packed-vs-scalar families report ns/trial so the 64-lane ops stay
+    # directly comparable with the scalar rows.
+    if b["name"].startswith(("BenchmarkBatchSample/", "BenchmarkBatchDecode/")):
+        if b.get("extra", {}).get("ns/trial", 0) <= 0:
+            sys.exit(f"{b['name']} missing ns/trial metric: {b.get('extra')}")
 print(f"bench smoke OK: {len(names)} benchmarks, all expected families present")
 EOF
